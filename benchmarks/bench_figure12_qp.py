@@ -1,0 +1,15 @@
+"""Figure 12: lottery-ticket quality Q_p vs density (theory and empirical)."""
+
+from repro.experiments.registry import get_experiment
+
+
+def test_bench_figure12_qp(benchmark, bench_scale):
+    exp = get_experiment("figure12")
+    result = benchmark.pedantic(
+        lambda: exp.run(scale=bench_scale, seed=0), rounds=1, iterations=1
+    )
+    print("\n" + exp.format_result(result))
+    for row in result["rows"]:
+        p, density, theory_a, emp_a, theory_b, emp_b = row
+        # Top-K rows: the oracle dominates the fixed pattern at the same density
+        assert emp_a >= emp_b - 0.05, (p, density)

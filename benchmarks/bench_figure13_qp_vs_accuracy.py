@@ -1,0 +1,15 @@
+"""Figure 13: Q_p (p=6.5) vs task accuracy across sparse patterns."""
+
+from repro.experiments.registry import get_experiment
+
+
+def test_bench_figure13_qp_vs_accuracy(benchmark, bench_scale):
+    exp = get_experiment("figure13")
+    result = benchmark.pedantic(
+        lambda: exp.run(scale=bench_scale, seed=0), rounds=1, iterations=1
+    )
+    print("\n" + exp.format_result(result))
+    rows = {r[0]: r for r in result["rows"]}
+    # the dynamic patterns achieve high Q_p at 50% density
+    assert rows["Dfss 1:2"][1] > rows["Fixed s=0.50"][1]
+    assert rows["Dfss 2:4"][1] > rows["Fixed s=0.50"][1]

@@ -1,0 +1,18 @@
+"""Figure 14: end-to-end speedup grid (dtype x heads x hidden x sequence length)."""
+
+from repro.experiments.registry import get_experiment
+
+
+def test_bench_figure14_e2e_speedup(benchmark, bench_scale):
+    exp = get_experiment("figure14")
+    result = benchmark.pedantic(
+        lambda: exp.run(scale=bench_scale, seed=0), rounds=1, iterations=1
+    )
+    print("\n" + exp.format_result(result))
+    # paper band: 1.08x ~ 1.52x end-to-end speedup for DFSS
+    assert 1.05 <= result["dfss_speedup_min"]
+    assert result["dfss_speedup_max"] <= 1.6
+    # DFSS delivers end-to-end speedup in *every* configuration (the paper's
+    # "only method that delivers end-to-end speedup under all configurations")
+    mech_index = result["headers"].index("dfss")
+    assert all(row[mech_index] > 1.0 for row in result["rows"])

@@ -1,0 +1,17 @@
+"""Figure 19: similarity of dense and DFSS attention-weight maps."""
+
+from repro.experiments.registry import get_experiment
+
+
+def test_bench_figure19_attention_maps(benchmark, bench_scale):
+    exp = get_experiment("figure19")
+    result = benchmark.pedantic(
+        lambda: exp.run(scale=bench_scale, seed=0), rounds=1, iterations=1
+    )
+    print("\n" + exp.format_result(result))
+    for pattern, cosine, kept_mass, upscale in result["rows"]:
+        # the sparse maps keep the dominant structure of the dense maps...
+        assert cosine > 0.7, pattern
+        assert kept_mass > 0.5, pattern
+        # ...and surviving weights are re-normalised upwards, as the paper notes
+        assert upscale >= 1.0, pattern

@@ -1,0 +1,19 @@
+"""Figure 5: attention latency breakdown across mechanisms, dtypes and sequence lengths."""
+
+from repro.experiments.registry import get_experiment
+
+
+def test_bench_figure5_latency(benchmark, bench_scale):
+    exp = get_experiment("figure5")
+    result = benchmark.pedantic(
+        lambda: exp.run(scale=bench_scale, seed=0), rounds=1, iterations=1
+    )
+    print("\n" + exp.format_result(result))
+    # headline claim: DFSS speedup lies in the paper's 1.27x ~ 1.89x band
+    assert 1.25 <= result["dfss_speedup_min"] <= result["dfss_speedup_max"] <= 1.95
+    # DFSS is the only mechanism with total < 1 at every sequence length
+    totals = {}
+    for dtype, n, mech, *_, total in result["rows"]:
+        totals.setdefault(mech, []).append(total)
+    consistent = [m for m, t in totals.items() if all(x < 1.0 for x in t)]
+    assert consistent == ["dfss"]

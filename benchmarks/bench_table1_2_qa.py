@@ -1,0 +1,16 @@
+"""Tables 1-2: span-QA F1 before/after the attention swap (with / without finetuning)."""
+
+from repro.experiments.registry import get_experiment
+
+
+def test_bench_table1_2_qa(benchmark, bench_scale):
+    exp = get_experiment("table2")
+    result = benchmark.pedantic(
+        lambda: exp.run(scale=bench_scale, seed=0), rounds=1, iterations=1
+    )
+    print("\n" + exp.format_result(result))
+    dense = dict((row[0], row) for row in result["rows"])["Transformer (full)"]
+    for label in ("Dfss 1:2", "Dfss 2:4"):
+        row = dict((r[0], r) for r in result["rows"])[label]
+        # reproduction target: DFSS stays close to dense F1 (paper: within ~1 sigma)
+        assert row[2] >= dense[2] - 15.0, f"{label} lost too much F1 after finetuning"

@@ -1,0 +1,18 @@
+"""Table 3: masked-LM perplexity of full attention vs DFSS, with/without finetuning."""
+
+from repro.experiments.registry import get_experiment
+
+
+def test_bench_table3_mlm(benchmark, bench_scale):
+    exp = get_experiment("table3")
+    result = benchmark.pedantic(
+        lambda: exp.run(scale=bench_scale, seed=0), rounds=1, iterations=1
+    )
+    print("\n" + exp.format_result(result))
+    rows = {r[0]: r for r in result["rows"]}
+    for corpus in ("wikitext2-like", "wikitext103-like"):
+        dense = rows[f"Transformer (full) [{corpus}]"]
+        for label in ("Dfss 1:2", "Dfss 2:4"):
+            sparse = rows[f"{label} [{corpus}]"]
+            # reproduction target: perplexity on par with the dense transformer
+            assert sparse[1] <= dense[1] * 1.25, (corpus, label)

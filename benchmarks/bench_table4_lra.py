@@ -1,0 +1,23 @@
+"""Table 4: LRA-style accuracy of the dense transformer, DFSS and baselines.
+
+At the default (smoke) benchmark scale a representative subset of mechanisms
+is trained; ``REPRO_SCALE=full`` trains the whole Table-4 roster.
+"""
+
+import numpy as np
+
+from repro.experiments.registry import get_experiment
+
+
+def test_bench_table4_lra(benchmark, bench_scale):
+    exp = get_experiment("table4")
+    result = benchmark.pedantic(
+        lambda: exp.run(scale=bench_scale, seed=0), rounds=1, iterations=1
+    )
+    print("\n" + exp.format_result(result))
+    rows = {r[0]: r for r in result["rows"]}
+    dense_avg = rows["Transformer (full)"][-1]
+    dfss_avgs = [rows[label][-1] for label in ("Dfss 1:2", "Dfss 2:4")]
+    # reproduction target: DFSS average accuracy is on par with the dense model
+    # (paper: 51.41 / 51.67 vs 51.21); generous tolerance at synthetic scale.
+    assert max(dfss_avgs) >= dense_avg - 12.0

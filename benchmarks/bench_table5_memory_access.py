@@ -1,0 +1,13 @@
+"""Table 5 (Appendix): per-stage memory-access counts and the SDDMM traffic check."""
+
+from repro.experiments.registry import get_experiment
+
+
+def test_bench_table5_memory_access(benchmark, bench_scale):
+    exp = get_experiment("table5")
+    result = benchmark.pedantic(
+        lambda: exp.run(scale=bench_scale, seed=0), rounds=1, iterations=1
+    )
+    print("\n" + exp.format_result(result))
+    # the tiled kernel's write traffic must match the (1/2 + 1/16) n^2 model
+    assert result["sddmm_write_relative_error"] < 0.02

@@ -1,0 +1,23 @@
+"""Shared configuration for the benchmark harness.
+
+Benchmarks default to the "smoke" experiment scale so the whole suite runs on
+a CPU-only box in minutes; export ``REPRO_SCALE=default`` or ``full`` to run
+the larger configurations the paper uses.  Each benchmark prints the
+regenerated table so the numbers can be compared against EXPERIMENTS.md.
+"""
+
+import os
+
+import pytest
+
+#: Scale used by the benchmark harness (overridable via the environment).
+BENCH_SCALE = os.environ.get("REPRO_SCALE", "smoke")
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    return BENCH_SCALE
+
+
+def pytest_report_header(config):
+    return f"repro benchmark scale: {BENCH_SCALE} (set REPRO_SCALE to change)"

@@ -1,0 +1,56 @@
+"""Table-2 style workflow: train a QA model densely, swap in DFSS, optionally finetune.
+
+This is the "drop-in replacement of a pretrained model" story of the paper:
+a span-extraction QA model (synthetic SQuAD stand-in) is trained under full
+attention; its attention is then replaced by DFSS 1:2 / 2:4 with *no other
+change*, evaluated, and finally finetuned for a few steps.
+
+Run with ``python examples/finetune_qa_swap.py [--scale smoke|default|full]``.
+"""
+
+import argparse
+
+from repro.data.qa import generate_qa_dataset, train_test_split
+from repro.experiments.common import build_encoder, model_scale, qa_config
+from repro.nn.trainer import Trainer, evaluate_span_qa
+from repro.nn.transformer import SpanQAModel
+
+
+def main(scale: str = "smoke", seed: int = 0) -> None:
+    cfg = qa_config(scale)
+    ms = model_scale(scale)
+    tokens, spans = generate_qa_dataset(cfg, seed=seed)
+    x_train, y_train, x_test, y_test = train_test_split(tokens, spans, seed=seed)
+
+    print(f"synthetic QA: {len(x_train)} train / {len(x_test)} test, seq_len={cfg.seq_len}")
+    encoder = build_encoder(cfg.vocab_size, cfg.seq_len, scale, mechanism="full", seed=seed)
+    model = SpanQAModel(encoder, seed=seed + 1)
+    print(f"model parameters: {model.num_parameters():,}")
+
+    print("\n[1] pretraining with full attention ...")
+    Trainer(model, lr=ms.lr, batch_size=ms.batch_size, seed=seed).train_steps(
+        x_train, y_train, ms.train_steps
+    )
+    dense = evaluate_span_qa(model, x_test, y_test)
+    print(f"    full attention      F1 = {100 * dense['f1']:.2f}")
+
+    state = model.state_dict()
+    for pattern in ("1:2", "2:4"):
+        model.load_state_dict(state)
+        encoder.set_mechanism("dfss", pattern=pattern)
+        swapped = evaluate_span_qa(model, x_test, y_test)
+        print(f"\n[2] swapped to Dfss {pattern} (no finetuning): F1 = {100 * swapped['f1']:.2f}")
+
+        Trainer(model, lr=ms.lr / 3, batch_size=ms.batch_size, seed=seed + 7).train_steps(
+            x_train, y_train, ms.finetune_steps
+        )
+        tuned = evaluate_span_qa(model, x_test, y_test)
+        print(f"[3] after {ms.finetune_steps} finetuning steps:   F1 = {100 * tuned['f1']:.2f}")
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--scale", default="smoke", choices=["smoke", "default", "full"])
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+    main(args.scale, args.seed)

@@ -1,0 +1,40 @@
+"""Figure-5 / Figure-14 style profiling with the A100 performance model.
+
+Prints the per-stage attention latency breakdown (normalised to the dense
+transformer) and the end-to-end speedup grid for DFSS and the efficient
+attention baselines.
+
+Run with ``python examples/profile_attention_latency.py``.
+"""
+
+from repro.gpusim.attention_latency import AttentionConfig, latency_breakdown_table
+from repro.gpusim.end_to_end import LayerConfig, end_to_end_speedup
+from repro.gpusim.memory import memory_reduction
+from repro.utils.formatting import format_table
+
+
+def main() -> None:
+    mechanisms = ("transformer", "dfss", "performer", "reformer", "routing",
+                  "sinkhorn", "nystromformer")
+
+    print("Attention latency normalised to the dense transformer (bfloat16, h=4, d=64)\n")
+    rows = []
+    for n in (256, 512, 1024, 2048, 4096):
+        table = latency_breakdown_table(
+            AttentionConfig(seq_len=n, dtype="bfloat16"), mechanisms=mechanisms
+        )
+        for mech in mechanisms:
+            e = table[mech]
+            rows.append([n, mech, e["overhead"], e["qk"], e["softmax"], e["av"], e["total"]])
+    print(format_table(["seq", "mechanism", "overhead", "QK^T", "softmax", "AV", "total"], rows))
+
+    print("\nEnd-to-end speedup and peak-memory reduction of DFSS\n")
+    rows = []
+    for n in (512, 1024, 2048, 4096):
+        cfg = LayerConfig(seq_len=n, num_heads=4, ffn_hidden=256, dtype="bfloat16")
+        rows.append([n, end_to_end_speedup("dfss", cfg), memory_reduction("dfss", cfg)])
+    print(format_table(["seq", "e2e speedup", "memory reduction"], rows))
+
+
+if __name__ == "__main__":
+    main()

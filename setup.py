@@ -1,0 +1,9 @@
+"""Setuptools shim so `pip install -e .` works without the `wheel` package installed.
+
+All project metadata lives in pyproject.toml; this file only enables the
+legacy editable-install path (`--no-use-pep517`) on offline machines.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,20 @@
+"""repro — reproduction of "Dynamic N:M Fine-grained Structured Sparse Attention".
+
+Top-level convenience re-exports; see :mod:`repro.core` for the DFSS
+mechanism, :mod:`repro.gpusim` for the A100-like performance model,
+:mod:`repro.baselines` for comparator attention mechanisms, :mod:`repro.nn`
+for the numpy transformer stack and :mod:`repro.experiments` for the
+table/figure reproduction harness.
+"""
+
+from repro.core import DfssAttention, dfss_attention, full_attention, NMSparseMatrix
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DfssAttention",
+    "dfss_attention",
+    "full_attention",
+    "NMSparseMatrix",
+    "__version__",
+]

@@ -1,0 +1,60 @@
+"""BigBird-style block sparse attention: window + global + random blocks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import AttentionMechanism, register
+from repro.core.blocked_ell import bigbird_mask
+from repro.utils.seeding import SeedLike
+
+
+@register
+class BigBirdAttention(AttentionMechanism):
+    """Blocked window/global/random pattern of Zaheer et al."""
+
+    name = "bigbird"
+    produces_mask = True
+
+    def __init__(
+        self,
+        block_size: int = 64,
+        window_blocks: int = 1,
+        num_global_blocks: int = 1,
+        num_random_blocks: int = 1,
+        seed: SeedLike = 0,
+    ):
+        self.block_size = block_size
+        self.window_blocks = window_blocks
+        self.num_global_blocks = num_global_blocks
+        self.num_random_blocks = num_random_blocks
+        self.seed = seed
+
+    def _mask_2d(self, n_q: int, n_k: int) -> np.ndarray:
+        if n_q != n_k:
+            raise ValueError("BigBird attention expects self-attention (n_q == n_k)")
+        block_size = self.block_size
+        if n_q % block_size != 0:
+            # fall back to the largest power-of-two block that divides n
+            block_size = 1
+            for cand in (64, 32, 16, 8, 4, 2):
+                if n_q % cand == 0:
+                    block_size = cand
+                    break
+        mask = bigbird_mask(
+            n_q,
+            block_size,
+            window_blocks=self.window_blocks,
+            num_global_blocks=self.num_global_blocks,
+            num_random_blocks=self.num_random_blocks,
+            seed=self.seed,
+        )
+        return mask.dense_mask(n_q, n_k)
+
+    def attention_mask(self, q: np.ndarray, k: np.ndarray) -> np.ndarray:
+        mask = self._mask_2d(q.shape[-2], k.shape[-2])
+        return np.broadcast_to(mask, q.shape[:-2] + mask.shape)
+
+    def __call__(self, q: np.ndarray, k: np.ndarray, v: np.ndarray) -> np.ndarray:
+        self._validate(q, k, v)
+        return self.masked_attention(q, k, v, self._mask_2d(q.shape[-2], k.shape[-2]))

@@ -1,0 +1,119 @@
+"""Combinations of DFSS with existing efficient transformers (Appendix A.7).
+
+The paper argues DFSS is orthogonal to the linear-complexity mechanisms and
+shows three combinations (Figures 17 and 18):
+
+* :class:`DfssNystromformerAttention` — the two ``n x m`` / ``m x n`` kernels
+  of Nyströmformer are pruned to N:M sparsity on the fly (Table 6);
+* :class:`DfssBigBirdAttention` — 1:2 / 2:4 sparsity applied inside each
+  BigBird block (Figure 18 A);
+* :class:`DfssLinformerAttention` — the ``Q (E K)ᵀ`` score matrix is pruned to
+  N:M before the softmax and the SpMM with ``F V`` (Figure 18 B).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import AttentionMechanism, register
+from repro.baselines.bigbird import BigBirdAttention
+from repro.baselines.linformer import LinformerAttention
+from repro.baselines.nystromformer import NystromformerAttention, newton_schulz_pinv, segment_means
+from repro.core.patterns import default_pattern_for_dtype, resolve_pattern
+from repro.core.pruning import nm_prune_mask
+from repro.core.sddmm import sddmm_dense, sddmm_nm
+from repro.core.softmax import masked_dense_softmax, sparse_softmax
+from repro.core.spmm import spmm
+
+
+@register
+class DfssNystromformerAttention(AttentionMechanism):
+    """Nyströmformer with its two large kernels pruned to dynamic N:M sparsity.
+
+    Note on approximation quality: without finetuning, pruning the ``n x m``
+    landmark kernel to 2:4 perturbs the Nyström factorisation, and the
+    (regularised) pseudo-inverse of the ``m x m`` kernel amplifies that
+    perturbation, so the *untrained* forward pass is a noticeably coarser
+    approximation of full attention than plain Nyströmformer.  This matches
+    the paper, which always finetunes the combination (Table 6 uses 3,500
+    finetuning steps); the trainable counterpart used for that experiment
+    lives in :mod:`repro.nn.attention_layer`.
+    """
+
+    name = "nystromformer_dfss"
+    produces_mask = False
+
+    def __init__(self, num_landmarks: int = 32, pinv_iters: int = 6, pattern="2:4",
+                 dtype: str = "float32"):
+        self.base = NystromformerAttention(num_landmarks, pinv_iters)
+        self.pattern = resolve_pattern(pattern)
+        self.dtype = dtype
+
+    def __call__(self, q: np.ndarray, k: np.ndarray, v: np.ndarray) -> np.ndarray:
+        self._validate(q, k, v)
+        q = np.asarray(q, dtype=np.float32)
+        k = np.asarray(k, dtype=np.float32)
+        v = np.asarray(v, dtype=np.float32)
+        q_land = segment_means(q, self.base.num_landmarks)
+        k_land = segment_means(k, self.base.num_landmarks)
+        # kernel1 (n x m) and kernel3 (m x n) are computed by SDDMM + N:M prune
+        sp1 = sddmm_nm(q, k_land, pattern=self.pattern, dtype=self.dtype)
+        sp3 = sddmm_nm(q_land, k, pattern=self.pattern, dtype=self.dtype)
+        kernel1 = sparse_softmax(sp1)
+        kernel3 = sparse_softmax(sp3)
+        # kernel2 is m x m (small) and stays dense
+        from repro.core.softmax import dense_softmax
+
+        scale = 1.0 / np.sqrt(q.shape[-1])
+        kernel2 = dense_softmax(np.matmul(q_land, np.swapaxes(k_land, -1, -2)) * scale)
+        pinv = newton_schulz_pinv(kernel2, self.base.pinv_iters)
+        right = spmm(kernel3, v)  # (m x n) @ V on the sparse tensor core
+        left = spmm(kernel1, pinv)  # (n x m) @ pinv on the sparse tensor core
+        return np.matmul(left, right)
+
+
+@register
+class DfssBigBirdAttention(AttentionMechanism):
+    """BigBird block sparsity with N:M pruning inside the surviving blocks."""
+
+    name = "bigbird_dfss"
+    produces_mask = True
+
+    def __init__(self, pattern="2:4", dtype: str = "float32", **bigbird_kwargs):
+        self.bigbird = BigBirdAttention(**bigbird_kwargs)
+        self.pattern = resolve_pattern(pattern)
+        self.dtype = dtype
+
+    def attention_mask(self, q: np.ndarray, k: np.ndarray) -> np.ndarray:
+        block_mask = self.bigbird.attention_mask(q, k)
+        scores = sddmm_dense(q, k, dtype=self.dtype)
+        masked_scores = np.where(block_mask, scores, -np.inf)
+        nm = nm_prune_mask(masked_scores, self.pattern)
+        return nm & block_mask
+
+    def __call__(self, q: np.ndarray, k: np.ndarray, v: np.ndarray) -> np.ndarray:
+        self._validate(q, k, v)
+        return self.masked_attention(q, k, v, self.attention_mask(q, k))
+
+
+@register
+class DfssLinformerAttention(AttentionMechanism):
+    """Linformer with the ``Q (E K)ᵀ`` score matrix pruned to N:M on the fly."""
+
+    name = "linformer_dfss"
+    produces_mask = False
+
+    def __init__(self, proj_dim: int = 64, pattern="2:4", dtype: str = "float32", seed=0):
+        self.linformer = LinformerAttention(proj_dim=proj_dim, seed=seed)
+        self.pattern = resolve_pattern(pattern)
+        self.dtype = dtype
+
+    def __call__(self, q: np.ndarray, k: np.ndarray, v: np.ndarray) -> np.ndarray:
+        self._validate(q, k, v)
+        n = k.shape[-2]
+        e, f = self.linformer._projections(n)
+        k_proj = np.matmul(e, np.asarray(k, dtype=np.float32))
+        v_proj = np.matmul(f, np.asarray(v, dtype=np.float32))
+        sp = sddmm_nm(np.asarray(q, dtype=np.float32), k_proj, pattern=self.pattern, dtype=self.dtype)
+        weights = sparse_softmax(sp)
+        return spmm(weights, v_proj)

@@ -1,0 +1,47 @@
+"""The paper's DFSS mechanism wrapped in the baseline interface."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.base import AttentionMechanism, register
+from repro.core.attention import dfss_attention
+from repro.core.blocked_ell import BlockedEllMask
+from repro.core.patterns import default_pattern_for_dtype, resolve_pattern
+from repro.core.pruning import nm_prune_mask
+from repro.core.sddmm import sddmm_dense
+
+
+@register
+class DfssMechanism(AttentionMechanism):
+    """Dynamic N:M fine-grained structured sparse attention ("ours")."""
+
+    name = "dfss"
+    produces_mask = True
+
+    def __init__(
+        self,
+        pattern=None,
+        dtype: str = "float32",
+        block_mask: Optional[BlockedEllMask] = None,
+    ):
+        self.dtype = dtype
+        self.pattern = (
+            default_pattern_for_dtype(dtype) if pattern is None else resolve_pattern(pattern)
+        )
+        self.block_mask = block_mask
+
+    def __call__(self, q: np.ndarray, k: np.ndarray, v: np.ndarray) -> np.ndarray:
+        self._validate(q, k, v)
+        return dfss_attention(
+            q, k, v, pattern=self.pattern, dtype=self.dtype, block_mask=self.block_mask
+        )
+
+    def attention_mask(self, q: np.ndarray, k: np.ndarray) -> np.ndarray:
+        scores = sddmm_dense(q, k, dtype=self.dtype)
+        mask = nm_prune_mask(scores, self.pattern)
+        if self.block_mask is not None:
+            mask = mask & self.block_mask.dense_mask(scores.shape[-2], scores.shape[-1])
+        return mask

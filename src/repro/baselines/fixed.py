@@ -1,0 +1,101 @@
+"""Fixed (data-independent) sparse attention patterns.
+
+Three members of the family the paper groups as "Fixed Sparse Patterns":
+
+* :class:`LocalWindowAttention` — each query attends to a sliding window of
+  neighbouring keys (Image Transformer / "Local Attention" row of Table 4);
+* :class:`StridedSparseAttention` — local window plus strided columns
+  (Child et al.'s Sparse Transformer);
+* :class:`TruncatedAttention` — keep the first ``density * n`` key columns;
+  this is the pattern used for the fixed-sparsity speedup measurement in
+  Appendix A.4 ("simply truncate the number of columns").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import AttentionMechanism, register
+
+
+def local_window_mask(n_q: int, n_k: int, window: int) -> np.ndarray:
+    """Boolean mask keeping keys within ``window`` positions of the query."""
+    rows = np.arange(n_q)[:, None]
+    cols = np.arange(n_k)[None, :]
+    return np.abs(rows - cols) <= window
+
+
+def strided_mask(n_q: int, n_k: int, window: int, stride: int) -> np.ndarray:
+    """Local window plus every ``stride``-th column (Sparse Transformer)."""
+    mask = local_window_mask(n_q, n_k, window)
+    mask[:, ::stride] = True
+    return mask
+
+
+def truncated_mask(n_q: int, n_k: int, density: float) -> np.ndarray:
+    """Keep the first ``density * n_k`` columns for every query."""
+    keep = max(1, int(round(density * n_k)))
+    mask = np.zeros((n_q, n_k), dtype=bool)
+    mask[:, :keep] = True
+    return mask
+
+
+class _FixedMaskAttention(AttentionMechanism):
+    produces_mask = True
+
+    def _mask_2d(self, n_q: int, n_k: int) -> np.ndarray:
+        raise NotImplementedError
+
+    def attention_mask(self, q: np.ndarray, k: np.ndarray) -> np.ndarray:
+        mask = self._mask_2d(q.shape[-2], k.shape[-2])
+        return np.broadcast_to(mask, q.shape[:-2] + mask.shape)
+
+    def __call__(self, q: np.ndarray, k: np.ndarray, v: np.ndarray) -> np.ndarray:
+        self._validate(q, k, v)
+        return self.masked_attention(q, k, v, self._mask_2d(q.shape[-2], k.shape[-2]))
+
+
+@register
+class LocalWindowAttention(_FixedMaskAttention):
+    """Sliding-window attention with half-width ``window``."""
+
+    name = "local"
+
+    def __init__(self, window: int = 32):
+        if window < 0:
+            raise ValueError("window must be non-negative")
+        self.window = window
+
+    def _mask_2d(self, n_q: int, n_k: int) -> np.ndarray:
+        return local_window_mask(n_q, n_k, self.window)
+
+
+@register
+class StridedSparseAttention(_FixedMaskAttention):
+    """Sparse-Transformer-style local + strided pattern."""
+
+    name = "sparse_transformer"
+
+    def __init__(self, window: int = 16, stride: int = 64):
+        if stride <= 0:
+            raise ValueError("stride must be positive")
+        self.window = window
+        self.stride = stride
+
+    def _mask_2d(self, n_q: int, n_k: int) -> np.ndarray:
+        return strided_mask(n_q, n_k, self.window, self.stride)
+
+
+@register
+class TruncatedAttention(_FixedMaskAttention):
+    """Keep a fixed leading fraction of key columns (Appendix A.4 fixed pattern)."""
+
+    name = "fixed_truncated"
+
+    def __init__(self, density: float = 0.5):
+        if not 0.0 < density <= 1.0:
+            raise ValueError("density must lie in (0, 1]")
+        self.density = density
+
+    def _mask_2d(self, n_q: int, n_k: int) -> np.ndarray:
+        return truncated_mask(n_q, n_k, self.density)

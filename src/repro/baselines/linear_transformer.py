@@ -1,0 +1,35 @@
+"""Linear Transformer attention (Katharopoulos et al.).
+
+Replaces the softmax kernel with the feature map ``phi(x) = elu(x) + 1`` and
+reorders the computation to ``phi(Q) (phi(K)ᵀ V)`` for linear complexity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import AttentionMechanism, register
+
+
+def elu_feature_map(x: np.ndarray) -> np.ndarray:
+    """``elu(x) + 1`` feature map (strictly positive)."""
+    x = np.asarray(x, dtype=np.float32)
+    return np.where(x > 0, x + 1.0, np.exp(np.minimum(x, 0.0)))
+
+
+@register
+class LinearTransformerAttention(AttentionMechanism):
+    """Kernelised linear attention with the elu+1 feature map."""
+
+    name = "linear_transformer"
+    produces_mask = False
+
+    def __call__(self, q: np.ndarray, k: np.ndarray, v: np.ndarray) -> np.ndarray:
+        self._validate(q, k, v)
+        phi_q = elu_feature_map(q)
+        phi_k = elu_feature_map(k)
+        v = np.asarray(v, dtype=np.float32)
+        kv = np.matmul(np.swapaxes(phi_k, -1, -2), v)  # (..., d, d_v)
+        normaliser = np.matmul(phi_q, np.sum(phi_k, axis=-2, keepdims=True).swapaxes(-1, -2))
+        normaliser = np.maximum(normaliser, 1e-6)
+        return np.matmul(phi_q, kv) / normaliser

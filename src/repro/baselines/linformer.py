@@ -1,0 +1,50 @@
+"""Linformer: low-rank projection of keys and values (Wang et al.).
+
+``O = softmax(Q (E K)ᵀ / sqrt(d)) (F V)`` with projection matrices
+``E, F ∈ R^{k x n}`` (``k << n``).  At inference the projections are fixed
+(learned) matrices; here they are seeded random Gaussian projections, which is
+also how Linformer initialises them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import AttentionMechanism, register
+from repro.core.softmax import dense_softmax
+from repro.utils.seeding import new_rng
+
+
+@register
+class LinformerAttention(AttentionMechanism):
+    """Low-rank (n -> k) projection of the attention context."""
+
+    name = "linformer"
+    produces_mask = False
+
+    def __init__(self, proj_dim: int = 64, seed=0):
+        if proj_dim <= 0:
+            raise ValueError("proj_dim must be positive")
+        self.proj_dim = proj_dim
+        self.seed = seed
+        self._proj_cache = {}
+
+    def _projections(self, n: int):
+        if n not in self._proj_cache:
+            rng = new_rng(self.seed)
+            k = min(self.proj_dim, n)
+            e = rng.normal(0.0, 1.0 / np.sqrt(k), size=(k, n)).astype(np.float32)
+            f = rng.normal(0.0, 1.0 / np.sqrt(k), size=(k, n)).astype(np.float32)
+            self._proj_cache[n] = (e, f)
+        return self._proj_cache[n]
+
+    def __call__(self, q: np.ndarray, k: np.ndarray, v: np.ndarray) -> np.ndarray:
+        self._validate(q, k, v)
+        n = k.shape[-2]
+        d = q.shape[-1]
+        e, f = self._projections(n)
+        k_proj = np.matmul(e, np.asarray(k, dtype=np.float32))  # (..., k, d)
+        v_proj = np.matmul(f, np.asarray(v, dtype=np.float32))
+        scores = np.matmul(q, np.swapaxes(k_proj, -1, -2)) / np.sqrt(d)
+        weights = dense_softmax(scores)
+        return np.matmul(weights, v_proj)

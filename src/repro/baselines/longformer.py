@@ -1,0 +1,40 @@
+"""Longformer-style attention: sliding window plus a few global tokens."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import AttentionMechanism, register
+from repro.baselines.fixed import local_window_mask
+
+
+def longformer_mask(n_q: int, n_k: int, window: int, num_global: int) -> np.ndarray:
+    """Sliding-window mask with the first ``num_global`` tokens made global."""
+    mask = local_window_mask(n_q, n_k, window)
+    g = min(num_global, n_k)
+    mask[:, :g] = True  # everyone attends to the global tokens
+    mask[: min(num_global, n_q), :] = True  # global tokens attend everywhere
+    return mask
+
+
+@register
+class LongformerAttention(AttentionMechanism):
+    """Fixed window + global-token pattern (Beltagy et al.)."""
+
+    name = "longformer"
+    produces_mask = True
+
+    def __init__(self, window: int = 32, num_global: int = 1):
+        self.window = window
+        self.num_global = num_global
+
+    def _mask_2d(self, n_q: int, n_k: int) -> np.ndarray:
+        return longformer_mask(n_q, n_k, self.window, self.num_global)
+
+    def attention_mask(self, q: np.ndarray, k: np.ndarray) -> np.ndarray:
+        mask = self._mask_2d(q.shape[-2], k.shape[-2])
+        return np.broadcast_to(mask, q.shape[:-2] + mask.shape)
+
+    def __call__(self, q: np.ndarray, k: np.ndarray, v: np.ndarray) -> np.ndarray:
+        self._validate(q, k, v)
+        return self.masked_attention(q, k, v, self._mask_2d(q.shape[-2], k.shape[-2]))

@@ -1,0 +1,87 @@
+"""Nyströmformer attention (Xiong et al.), Figure 17 of the paper.
+
+Approximates ``softmax(Q Kᵀ / sqrt(d)) V`` with the Nyström method using
+``m`` landmark rows obtained by segment means:
+
+    ``A ≈ softmax(Q K̃ᵀ) · pinv(softmax(Q̃ K̃ᵀ)) · softmax(Q̃ Kᵀ)``
+
+The pseudo-inverse is computed by the same Newton–Schulz iteration the
+reference implementation uses.  The two ``n x m`` / ``m x n`` kernels circled
+in Figure 17 are exactly the matrices DFSS compresses when the two methods
+are combined (see :class:`repro.baselines.combos.DfssNystromformerAttention`).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.baselines.base import AttentionMechanism, register
+from repro.core.softmax import dense_softmax
+
+
+def segment_means(x: np.ndarray, num_landmarks: int) -> np.ndarray:
+    """Landmark construction: mean of each of ``num_landmarks`` contiguous segments."""
+    n = x.shape[-2]
+    m = min(num_landmarks, n)
+    if n % m == 0:
+        seg = x.reshape(x.shape[:-2] + (m, n // m, x.shape[-1]))
+        return seg.mean(axis=-2)
+    # ragged split: pad the tail segment by repetition of the mean
+    idx = np.array_split(np.arange(n), m)
+    outs = [x[..., i, :].mean(axis=-2) for i in idx]
+    return np.stack(outs, axis=-2)
+
+
+def newton_schulz_pinv(a: np.ndarray, iters: int = 6) -> np.ndarray:
+    """Iterative Moore–Penrose pseudo-inverse of the small ``m x m`` kernel."""
+    a = np.asarray(a, dtype=np.float32)
+    at = np.swapaxes(a, -1, -2)
+    scale = np.max(np.sum(np.abs(a), axis=-2, keepdims=True), axis=-1, keepdims=True) * np.max(
+        np.sum(np.abs(a), axis=-1, keepdims=True), axis=-2, keepdims=True
+    )
+    z = at / np.maximum(scale, 1e-8)
+    eye = np.eye(a.shape[-1], dtype=np.float32)
+    for _ in range(iters):
+        az = np.matmul(a, z)
+        z = 0.25 * np.matmul(
+            z, 13 * eye - np.matmul(az, 15 * eye - np.matmul(az, 7 * eye - az))
+        )
+    return z
+
+
+@register
+class NystromformerAttention(AttentionMechanism):
+    """Nyström landmark approximation of softmax attention."""
+
+    name = "nystromformer"
+    produces_mask = False
+
+    def __init__(self, num_landmarks: int = 32, pinv_iters: int = 6):
+        if num_landmarks <= 0:
+            raise ValueError("num_landmarks must be positive")
+        self.num_landmarks = num_landmarks
+        self.pinv_iters = pinv_iters
+
+    def kernels(
+        self, q: np.ndarray, k: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The three softmax kernels of the Nyström factorisation."""
+        d = q.shape[-1]
+        scale = 1.0 / np.sqrt(d)
+        q = np.asarray(q, dtype=np.float32)
+        k = np.asarray(k, dtype=np.float32)
+        q_land = segment_means(q, self.num_landmarks)
+        k_land = segment_means(k, self.num_landmarks)
+        kernel1 = dense_softmax(np.matmul(q, np.swapaxes(k_land, -1, -2)) * scale)  # n x m
+        kernel2 = dense_softmax(np.matmul(q_land, np.swapaxes(k_land, -1, -2)) * scale)  # m x m
+        kernel3 = dense_softmax(np.matmul(q_land, np.swapaxes(k, -1, -2)) * scale)  # m x n
+        return kernel1, kernel2, kernel3
+
+    def __call__(self, q: np.ndarray, k: np.ndarray, v: np.ndarray) -> np.ndarray:
+        self._validate(q, k, v)
+        kernel1, kernel2, kernel3 = self.kernels(q, k)
+        v = np.asarray(v, dtype=np.float32)
+        pinv = newton_schulz_pinv(kernel2, self.pinv_iters)
+        return np.matmul(np.matmul(kernel1, pinv), np.matmul(kernel3, v))

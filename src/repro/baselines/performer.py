@@ -1,0 +1,83 @@
+"""Performer / FAVOR+ attention (Choromanski et al.).
+
+Approximates the softmax kernel with positive orthogonal random features:
+
+    ``phi(x) = exp(Wx / d^{1/4} - ||x||² / (2 sqrt(d)) - max(Wx / d^{1/4})) / sqrt(m)``
+
+and computes ``phi(Q) (phi(K)ᵀ V)`` with a row normaliser, giving linear
+complexity in the sequence length.  This mirrors the computation graph of
+Eq. (32) in Appendix A.5.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import AttentionMechanism, register
+from repro.utils.seeding import new_rng
+
+
+def orthogonal_random_features(num_features: int, dim: int, rng) -> np.ndarray:
+    """Blocks of orthogonalised Gaussian rows, re-scaled to chi-distributed norms."""
+    blocks = []
+    remaining = num_features
+    while remaining > 0:
+        gauss = rng.normal(size=(dim, dim))
+        q_mat, _ = np.linalg.qr(gauss)
+        take = min(remaining, dim)
+        blocks.append(q_mat[:take])
+        remaining -= take
+    w = np.concatenate(blocks, axis=0)
+    norms = np.sqrt(rng.chisquare(df=dim, size=(num_features, 1)))
+    return (w * norms).astype(np.float32)
+
+
+@register
+class PerformerAttention(AttentionMechanism):
+    """FAVOR+ positive orthogonal random-feature attention."""
+
+    name = "performer"
+    produces_mask = False
+
+    def __init__(self, num_features: int = None, seed=0, eps: float = 1e-6):
+        self.num_features = num_features
+        self.seed = seed
+        self.eps = eps
+        self._feature_cache = {}
+
+    def _features(self, d: int) -> np.ndarray:
+        if d not in self._feature_cache:
+            m = self.num_features or max(1, int(round(d * np.log(max(d, 2)))))
+            self._feature_cache[d] = orthogonal_random_features(m, d, new_rng(self.seed))
+        return self._feature_cache[d]
+
+    def _feature_map(self, x: np.ndarray, w: np.ndarray, per_row_stabiliser: bool) -> np.ndarray:
+        """FAVOR+ positive features.
+
+        The numerical stabiliser must be constant per attention *row* for the
+        query features (it cancels in the row normaliser) but globally constant
+        for the key features (a per-key constant would re-weight keys).
+        """
+        d = x.shape[-1]
+        m = w.shape[0]
+        proj = np.matmul(x, w.T) / d**0.25  # (..., n, m)
+        sq_norm = np.sum(x * x, axis=-1, keepdims=True) / (2.0 * np.sqrt(d))
+        shifted = proj - sq_norm
+        if per_row_stabiliser:
+            stab = np.max(shifted, axis=-1, keepdims=True)
+        else:
+            stab = np.max(shifted, axis=(-1, -2), keepdims=True)
+        return np.exp(shifted - stab) / np.sqrt(m) + self.eps
+
+    def __call__(self, q: np.ndarray, k: np.ndarray, v: np.ndarray) -> np.ndarray:
+        self._validate(q, k, v)
+        w = self._features(q.shape[-1])
+        phi_q = self._feature_map(np.asarray(q, dtype=np.float32), w, per_row_stabiliser=True)
+        phi_k = self._feature_map(np.asarray(k, dtype=np.float32), w, per_row_stabiliser=False)
+        v = np.asarray(v, dtype=np.float32)
+        kv = np.matmul(np.swapaxes(phi_k, -1, -2), v)  # (..., m, d_v)
+        out = np.matmul(phi_q, kv)
+        normaliser = np.matmul(
+            phi_q, np.sum(phi_k, axis=-2, keepdims=True).swapaxes(-1, -2)
+        )
+        return out / np.maximum(normaliser, self.eps)

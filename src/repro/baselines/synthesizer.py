@@ -1,0 +1,41 @@
+"""Synthesizer attention (Tay et al.): attention weights independent of QKᵀ.
+
+The "Random Synthesizer" variant replaces the content-based score matrix with
+a (per-head) random matrix that would be learned during training; at inference
+it does not depend on the inputs at all.  Here the random matrix is drawn once
+at construction from a seeded generator, standing in for the learned one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import AttentionMechanism, register
+from repro.core.softmax import dense_softmax
+from repro.utils.seeding import new_rng
+
+
+@register
+class SynthesizerAttention(AttentionMechanism):
+    """Random (content-independent) attention weights."""
+
+    name = "synthesizer"
+    produces_mask = False
+
+    def __init__(self, max_len: int = 4096, seed=0):
+        self.max_len = max_len
+        self._rng = new_rng(seed)
+        self._matrix = self._rng.normal(size=(max_len, max_len)).astype(np.float32)
+
+    def __call__(self, q: np.ndarray, k: np.ndarray, v: np.ndarray) -> np.ndarray:
+        self._validate(q, k, v)
+        n_q, n_k = q.shape[-2], k.shape[-2]
+        if n_q > self.max_len or n_k > self.max_len:
+            raise ValueError(
+                f"sequence length {max(n_q, n_k)} exceeds the synthesizer table ({self.max_len})"
+            )
+        weights = dense_softmax(self._matrix[:n_q, :n_k])
+        return np.matmul(
+            np.broadcast_to(weights, q.shape[:-2] + weights.shape),
+            np.asarray(v, dtype=np.float32),
+        )

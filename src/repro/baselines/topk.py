@@ -1,0 +1,43 @@
+"""Explicit Top-K sparse attention (Zhao et al., "Explicit Sparse Transformer").
+
+Keeps the ``k`` largest scores of every attention row.  The paper uses this
+mechanism as the quality *oracle* (it maximises ``Q_p`` at a given density)
+that is nevertheless impractical on GPUs (Proposition 4.3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import AttentionMechanism, register
+from repro.core.lottery import topk_mask
+from repro.core.sddmm import sddmm_dense
+
+
+@register
+class ExplicitTopKAttention(AttentionMechanism):
+    """Per-row Top-K masking of the dense score matrix."""
+
+    name = "topk"
+    produces_mask = True
+
+    def __init__(self, density: float = 0.05, k: int = None):
+        if k is None and not (0.0 < density <= 1.0):
+            raise ValueError("density must lie in (0, 1]")
+        self.density = density
+        self.k = k
+
+    def _mask(self, scores: np.ndarray) -> np.ndarray:
+        if self.k is not None:
+            density = min(1.0, self.k / scores.shape[-1])
+        else:
+            density = self.density
+        return topk_mask(scores, density)
+
+    def __call__(self, q: np.ndarray, k: np.ndarray, v: np.ndarray) -> np.ndarray:
+        self._validate(q, k, v)
+        scores = sddmm_dense(q, k)
+        return self.masked_attention(q, k, v, self._mask(scores))
+
+    def attention_mask(self, q: np.ndarray, k: np.ndarray) -> np.ndarray:
+        return self._mask(sddmm_dense(q, k))

@@ -1,0 +1,68 @@
+"""DFSS core: dynamic N:M fine-grained structured sparse attention.
+
+This package implements the paper's primary contribution:
+
+* :mod:`repro.core.patterns` / :mod:`repro.core.pruning` — the dynamic N:M
+  selection rule;
+* :mod:`repro.core.metadata` / :mod:`repro.core.sparse` — the compressed
+  (nonzeros, metadata) representation consumed by sparse-tensor-core SpMM;
+* :mod:`repro.core.sddmm`, :mod:`repro.core.softmax`, :mod:`repro.core.spmm` —
+  the three attention stages with the fused pruning epilogue;
+* :mod:`repro.core.attention` — the ``full_attention`` / ``dfss_attention``
+  public API and the :class:`DfssAttention` drop-in object;
+* :mod:`repro.core.lottery`, :mod:`repro.core.theory`, :mod:`repro.core.mse` —
+  the analytical results of Section 4 and the appendices;
+* :mod:`repro.core.blocked_ell` — hybrid blocked-ELL + N:M sparsity.
+"""
+
+from repro.core.attention import DfssAttention, dfss_attention, full_attention
+from repro.core.blocked_ell import (
+    BlockedEllMask,
+    bigbird_mask,
+    full_mask,
+    global_tokens_mask,
+    sliding_window_mask,
+)
+from repro.core.patterns import (
+    NMPattern,
+    PATTERN_1_2,
+    PATTERN_2_4,
+    default_pattern_for_dtype,
+    resolve_pattern,
+)
+from repro.core.precision import quantize, simulate_tensor_core_matmul, to_bfloat16
+from repro.core.pruning import nm_compress, nm_decompress, nm_prune_dense, nm_prune_mask
+from repro.core.sddmm import sddmm_dense, sddmm_nm, sddmm_nm_tiled
+from repro.core.softmax import dense_softmax, sparse_softmax
+from repro.core.sparse import NMSparseMatrix
+from repro.core.spmm import spmm
+
+__all__ = [
+    "DfssAttention",
+    "dfss_attention",
+    "full_attention",
+    "BlockedEllMask",
+    "bigbird_mask",
+    "full_mask",
+    "global_tokens_mask",
+    "sliding_window_mask",
+    "NMPattern",
+    "PATTERN_1_2",
+    "PATTERN_2_4",
+    "default_pattern_for_dtype",
+    "resolve_pattern",
+    "quantize",
+    "simulate_tensor_core_matmul",
+    "to_bfloat16",
+    "nm_compress",
+    "nm_decompress",
+    "nm_prune_dense",
+    "nm_prune_mask",
+    "sddmm_dense",
+    "sddmm_nm",
+    "sddmm_nm_tiled",
+    "dense_softmax",
+    "sparse_softmax",
+    "NMSparseMatrix",
+    "spmm",
+]

@@ -1,0 +1,175 @@
+"""Hybrid blocked-ELL + N:M sparsity (Appendix A.1.2, "Blocked-ELL Sparsity").
+
+For very long sequences the paper combines the 50% fine-grained structured
+sparsity with a coarse blocked-ELL pattern: the attention matrix is divided
+into square blocks (block size = the GEMM thread-block tile) and only a fixed
+number of blocks per block-row is ever computed; the surviving blocks are then
+pruned to N:M as usual.  This gives BigBird-style asymptotic savings while
+keeping the fine-grained selection inside each block.
+
+:class:`BlockedEllMask` represents the coarse pattern: for every block-row, a
+fixed-length list of block-column indices (the ELL format).  Helper
+constructors build the sliding-window / global-token / random-block layouts
+used by BigBird and Longformer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.utils.seeding import new_rng
+
+
+@dataclass
+class BlockedEllMask:
+    """Blocked-ELL sparsity pattern over a ``(rows, cols)`` matrix.
+
+    Attributes
+    ----------
+    block_size:
+        Edge length of the square blocks.
+    block_columns:
+        Integer array of shape ``(block_rows, ell_cols)``: for each block-row,
+        the block-column indices that are kept.  ``-1`` marks an unused slot
+        (ragged rows are padded with ``-1``).
+    """
+
+    block_size: int
+    block_columns: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.block_columns = np.asarray(self.block_columns, dtype=np.int64)
+        if self.block_columns.ndim != 2:
+            raise ValueError("block_columns must be 2-D (block_rows, ell_cols)")
+        if self.block_size <= 0:
+            raise ValueError("block_size must be positive")
+
+    @property
+    def block_rows(self) -> int:
+        return self.block_columns.shape[0]
+
+    @property
+    def ell_cols(self) -> int:
+        return self.block_columns.shape[1]
+
+    def density(self, total_block_cols: int) -> float:
+        """Fraction of blocks kept, ignoring padded ``-1`` slots."""
+        valid = self.block_columns >= 0
+        return float(valid.sum()) / (self.block_rows * total_block_cols)
+
+    def dense_mask(self, rows: int, cols: int) -> np.ndarray:
+        """Boolean dense mask of shape ``(rows, cols)`` for the kept blocks."""
+        if rows % self.block_size or cols % self.block_size:
+            raise ValueError(
+                f"matrix shape ({rows}, {cols}) is not divisible by block size "
+                f"{self.block_size}"
+            )
+        block_rows = rows // self.block_size
+        block_cols = cols // self.block_size
+        if block_rows != self.block_rows:
+            raise ValueError(
+                f"mask has {self.block_rows} block rows but the matrix needs {block_rows}"
+            )
+        mask = np.zeros((block_rows, block_cols), dtype=bool)
+        for br in range(block_rows):
+            for bc in self.block_columns[br]:
+                if bc < 0:
+                    continue
+                if bc >= block_cols:
+                    raise ValueError(
+                        f"block column {bc} out of range for {block_cols} block columns"
+                    )
+                mask[br, bc] = True
+        return np.kron(mask, np.ones((self.block_size, self.block_size), dtype=bool))
+
+    def iter_blocks(self) -> Iterable:
+        """Yield ``(block_row, block_col)`` pairs of kept blocks."""
+        for br in range(self.block_rows):
+            for bc in self.block_columns[br]:
+                if bc >= 0:
+                    yield br, int(bc)
+
+
+def _pad_rows(rows: Sequence[Sequence[int]]) -> np.ndarray:
+    width = max((len(r) for r in rows), default=0)
+    out = np.full((len(rows), max(width, 1)), -1, dtype=np.int64)
+    for i, r in enumerate(rows):
+        uniq = sorted(set(int(c) for c in r))
+        out[i, : len(uniq)] = uniq
+    return out
+
+
+def sliding_window_mask(
+    seq_len: int, block_size: int, window_blocks: int = 1
+) -> BlockedEllMask:
+    """Sliding-window blocked mask: each block-row keeps its ``window_blocks`` neighbours."""
+    if seq_len % block_size:
+        raise ValueError("seq_len must be divisible by block_size")
+    block_rows = seq_len // block_size
+    rows = []
+    for br in range(block_rows):
+        lo = max(0, br - window_blocks)
+        hi = min(block_rows, br + window_blocks + 1)
+        rows.append(list(range(lo, hi)))
+    return BlockedEllMask(block_size, _pad_rows(rows))
+
+
+def global_tokens_mask(
+    seq_len: int, block_size: int, num_global_blocks: int = 1
+) -> BlockedEllMask:
+    """Global-attention blocks: the first ``num_global_blocks`` block rows/columns are dense."""
+    if seq_len % block_size:
+        raise ValueError("seq_len must be divisible by block_size")
+    block_rows = seq_len // block_size
+    rows = []
+    for br in range(block_rows):
+        cols = set(range(min(num_global_blocks, block_rows)))
+        if br < num_global_blocks:
+            cols.update(range(block_rows))
+        cols.add(br)  # always keep the diagonal block
+        rows.append(sorted(cols))
+    return BlockedEllMask(block_size, _pad_rows(rows))
+
+
+def bigbird_mask(
+    seq_len: int,
+    block_size: int,
+    window_blocks: int = 1,
+    num_global_blocks: int = 1,
+    num_random_blocks: int = 1,
+    seed=None,
+) -> BlockedEllMask:
+    """BigBird-style mask: sliding window + global blocks + random blocks."""
+    if seq_len % block_size:
+        raise ValueError("seq_len must be divisible by block_size")
+    rng = new_rng(seed)
+    block_rows = seq_len // block_size
+    rows = []
+    for br in range(block_rows):
+        cols = set()
+        lo = max(0, br - window_blocks)
+        hi = min(block_rows, br + window_blocks + 1)
+        cols.update(range(lo, hi))
+        cols.update(range(min(num_global_blocks, block_rows)))
+        if br < num_global_blocks:
+            cols.update(range(block_rows))
+        candidates = [c for c in range(block_rows) if c not in cols]
+        if candidates and num_random_blocks > 0:
+            picks = rng.choice(
+                candidates, size=min(num_random_blocks, len(candidates)), replace=False
+            )
+            cols.update(int(p) for p in np.atleast_1d(picks))
+        rows.append(sorted(cols))
+    return BlockedEllMask(block_size, _pad_rows(rows))
+
+
+def full_mask(seq_len: int, block_size: int) -> BlockedEllMask:
+    """Degenerate mask keeping every block (pure N:M sparsity)."""
+    if seq_len % block_size:
+        raise ValueError("seq_len must be divisible by block_size")
+    block_rows = seq_len // block_size
+    rows = [list(range(block_rows)) for _ in range(block_rows)]
+    return BlockedEllMask(block_size, _pad_rows(rows))

@@ -1,0 +1,245 @@
+"""Sparse-tensor-core metadata encoding (Appendix A.1.1, Figure 6).
+
+The A100 sparse tensor core consumes the pruned matrix as two buffers:
+
+* **nonzeros** — the surviving values, ``N/M`` of the dense width, row-major;
+* **metadata** — 4 bits per 2:4 (or 1:2) group recording *which* entries
+  survived, packed 4-groups-to-a-16-bit-block, with the rows of each
+  32-row tile interleaved (Eq. 9), the 2x2 sub-blocks swapped along the
+  sub-diagonal, and the result written column-major with a 4-byte stride.
+
+This module reproduces that encoding bit-for-bit in NumPy so that the
+compressed representation produced by :func:`repro.core.sddmm.sddmm_nm`
+is byte-compatible with what CUTLASS-style SpMM kernels expect, and so the
+layout transformations can be property-tested (the packing is a bijection).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.patterns import NMPattern, PATTERN_1_2, PATTERN_2_4, resolve_pattern
+
+#: Metadata nibble for each ordered pair of kept 2-byte slots in a group of 4
+#: (Figure 6(b)): code = first_index | (second_index << 2).
+PAIR_TO_NIBBLE = {
+    (0, 1): 0x4,
+    (0, 2): 0x8,
+    (0, 3): 0xC,
+    (1, 2): 0x9,
+    (1, 3): 0xD,
+    (2, 3): 0xE,
+}
+
+NIBBLE_TO_PAIR = {v: k for k, v in PAIR_TO_NIBBLE.items()}
+
+#: With float32 data each value occupies two 2-byte slots, so only the
+#: "keep slots (0,1)" and "keep slots (2,3)" patterns are legal (0x4 and 0xE).
+FLOAT32_LEGAL_NIBBLES = (0x4, 0xE)
+
+#: Basic tile pruned by the epilogue: 32 rows x 64 bytes (32x32 bf16, 32x16 fp32).
+TILE_ROWS = 32
+TILE_BYTES = 64
+
+
+def encode_group_nibbles(kept_indices: np.ndarray, pattern) -> np.ndarray:
+    """Encode per-group kept indices as 4-bit metadata nibbles.
+
+    Parameters
+    ----------
+    kept_indices:
+        Integer array of shape ``(..., groups, N)`` with ascending per-group
+        offsets (as produced by :func:`repro.core.pruning.nm_group_topn_indices`).
+    pattern:
+        1:2 or 2:4.  For 1:2 the group offsets index 32-bit values, which are
+        mapped onto the pairs of 2-byte slots ``(0,1)`` / ``(2,3)`` used by the
+        hardware.
+
+    Returns
+    -------
+    ``uint8`` array of shape ``(..., groups)`` holding one nibble per group.
+    """
+    pattern = resolve_pattern(pattern)
+    kept_indices = np.asarray(kept_indices)
+    if pattern == PATTERN_2_4:
+        if kept_indices.shape[-1] != 2:
+            raise ValueError("2:4 metadata expects two kept indices per group")
+        first = kept_indices[..., 0].astype(np.uint8)
+        second = kept_indices[..., 1].astype(np.uint8)
+        if np.any(first >= second):
+            raise ValueError("kept indices must be strictly ascending within each group")
+        if np.any(second > 3):
+            raise ValueError("2:4 kept indices must lie in [0, 4)")
+        return (first | (second << 2)).astype(np.uint8)
+    if pattern == PATTERN_1_2:
+        if kept_indices.shape[-1] != 1:
+            raise ValueError("1:2 metadata expects one kept index per group")
+        idx = kept_indices[..., 0].astype(np.uint8)
+        if np.any(idx > 1):
+            raise ValueError("1:2 kept indices must lie in {0, 1}")
+        # index 0 keeps 2-byte slots (0,1) -> 0x4; index 1 keeps (2,3) -> 0xE
+        return np.where(idx == 0, np.uint8(0x4), np.uint8(0xE)).astype(np.uint8)
+    raise ValueError(
+        f"hardware metadata encoding is defined for 1:2 and 2:4 only, got {pattern.name}"
+    )
+
+
+def decode_group_nibbles(nibbles: np.ndarray, pattern) -> np.ndarray:
+    """Inverse of :func:`encode_group_nibbles`; returns kept indices ``(..., groups, N)``."""
+    pattern = resolve_pattern(pattern)
+    nibbles = np.asarray(nibbles).astype(np.uint8)
+    if pattern == PATTERN_2_4:
+        first = (nibbles & 0x3).astype(np.int8)
+        second = ((nibbles >> 2) & 0x3).astype(np.int8)
+        if np.any(first >= second):
+            raise ValueError("invalid 2:4 metadata nibble encountered")
+        return np.stack([first, second], axis=-1)
+    if pattern == PATTERN_1_2:
+        legal = np.isin(nibbles, FLOAT32_LEGAL_NIBBLES)
+        if not np.all(legal):
+            raise ValueError("invalid 1:2 metadata nibble encountered (only 0x4/0xE legal)")
+        idx = np.where(nibbles == 0x4, 0, 1).astype(np.int8)
+        return idx[..., None]
+    raise ValueError(f"unsupported pattern {pattern.name}")
+
+
+def pack_nibbles_to_blocks(nibbles: np.ndarray) -> np.ndarray:
+    """Concatenate consecutive groups of four nibbles into 16-bit metadata blocks.
+
+    ``nibbles`` has shape ``(rows, groups)`` with ``groups`` divisible by 4;
+    the result has shape ``(rows, groups // 4)`` and dtype ``uint16``.  Nibble
+    ``k`` within a block occupies bits ``[4k, 4k+4)`` (thread ``4t+k`` places
+    its nibble at ``[k*4 : k*4+3]`` in the kernel).
+    """
+    nibbles = np.asarray(nibbles, dtype=np.uint16)
+    if nibbles.ndim != 2:
+        raise ValueError("expected a 2-D (rows, groups) nibble array")
+    rows, groups = nibbles.shape
+    if groups % 4 != 0:
+        raise ValueError(f"number of groups ({groups}) must be divisible by 4")
+    quads = nibbles.reshape(rows, groups // 4, 4)
+    shifts = np.array([0, 4, 8, 12], dtype=np.uint16)
+    return np.bitwise_or.reduce(quads << shifts, axis=-1).astype(np.uint16)
+
+
+def unpack_blocks_to_nibbles(blocks: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`pack_nibbles_to_blocks`."""
+    blocks = np.asarray(blocks, dtype=np.uint16)
+    if blocks.ndim != 2:
+        raise ValueError("expected a 2-D (rows, blocks) array")
+    shifts = np.array([0, 4, 8, 12], dtype=np.uint16)
+    nibbles = (blocks[..., None] >> shifts) & 0xF
+    return nibbles.reshape(blocks.shape[0], blocks.shape[1] * 4).astype(np.uint8)
+
+
+def interleave_rows(row: np.ndarray) -> np.ndarray:
+    """Destination row for each source row under Eq. (9) of the paper.
+
+    ``dst_row = (row // 32) * 32 + (row % 8) * 4 + (row % 32) // 8``.
+    """
+    row = np.asarray(row, dtype=np.int64)
+    return (row // 32) * 32 + (row % 8) * 4 + (row % 32) // 8
+
+
+def _swap_subdiagonal(blocks: np.ndarray) -> np.ndarray:
+    """Swap the upper-right and lower-left blocks of every 2x2 grid (step 2)."""
+    rows, cols = blocks.shape
+    if rows % 2 != 0 or cols % 2 != 0:
+        raise ValueError("sub-diagonal swap requires even block-grid dimensions")
+    out = blocks.copy()
+    # views of the 2x2 grids: (r, c) with r%2==0 upper, c%2==1 right etc.
+    upper_right = out[0::2, 1::2].copy()
+    lower_left = out[1::2, 0::2].copy()
+    out[0::2, 1::2] = lower_left
+    out[1::2, 0::2] = upper_right
+    return out
+
+
+def reorder_metadata_tile(blocks: np.ndarray) -> np.ndarray:
+    """Apply steps 1-2 of Figure 6 to one 32-row tile of 16-bit metadata blocks.
+
+    ``blocks`` is the naturally-ordered ``(32, B)`` block matrix from
+    :func:`pack_nibbles_to_blocks`; the result is the reordered ``(32, B)``
+    matrix whose column-major bytes are what the kernel writes to DRAM.
+    """
+    blocks = np.asarray(blocks, dtype=np.uint16)
+    rows, _ = blocks.shape
+    if rows != TILE_ROWS:
+        raise ValueError(f"a metadata tile has {TILE_ROWS} rows, got {rows}")
+    dst = interleave_rows(np.arange(rows))
+    interleaved = np.empty_like(blocks)
+    interleaved[dst] = blocks
+    return _swap_subdiagonal(interleaved)
+
+
+def restore_metadata_tile(reordered: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`reorder_metadata_tile`."""
+    reordered = np.asarray(reordered, dtype=np.uint16)
+    rows, _ = reordered.shape
+    if rows != TILE_ROWS:
+        raise ValueError(f"a metadata tile has {TILE_ROWS} rows, got {rows}")
+    unswapped = _swap_subdiagonal(reordered)
+    dst = interleave_rows(np.arange(rows))
+    return unswapped[dst]
+
+
+def pack_metadata(nibbles: np.ndarray, reorder: bool = True) -> np.ndarray:
+    """Pack per-group nibbles for a whole matrix into the DRAM metadata layout.
+
+    Parameters
+    ----------
+    nibbles:
+        ``(rows, groups)`` nibble matrix; ``rows`` must be a multiple of 32 and
+        ``groups`` a multiple of 4 (pad the attention matrix accordingly).
+    reorder:
+        Apply the tile interleaving / sub-diagonal swap.  Disabling it gives
+        the "naive" layout, useful for ablation of the encoding cost.
+
+    Returns
+    -------
+    ``uint16`` array of shape ``(rows, groups // 4)`` in the (possibly
+    reordered) block layout.  Writing it column-major reproduces the byte
+    stream of step 3 in Figure 6.
+    """
+    blocks = pack_nibbles_to_blocks(nibbles)
+    if not reorder:
+        return blocks
+    rows = blocks.shape[0]
+    if rows % TILE_ROWS != 0:
+        raise ValueError(f"rows ({rows}) must be a multiple of {TILE_ROWS} to reorder")
+    if blocks.shape[1] % 2 != 0:
+        raise ValueError(
+            "the reordered layout needs an even number of 16-bit metadata blocks "
+            f"per row (got {blocks.shape[1]}); pad the groups to a multiple of 8"
+        )
+    out = np.empty_like(blocks)
+    for start in range(0, rows, TILE_ROWS):
+        out[start : start + TILE_ROWS] = reorder_metadata_tile(
+            blocks[start : start + TILE_ROWS]
+        )
+    return out
+
+
+def unpack_metadata(blocks: np.ndarray, reordered: bool = True) -> np.ndarray:
+    """Inverse of :func:`pack_metadata`; returns the ``(rows, groups)`` nibble matrix."""
+    blocks = np.asarray(blocks, dtype=np.uint16)
+    if reordered:
+        rows = blocks.shape[0]
+        if rows % TILE_ROWS != 0:
+            raise ValueError(f"rows ({rows}) must be a multiple of {TILE_ROWS}")
+        restored = np.empty_like(blocks)
+        for start in range(0, rows, TILE_ROWS):
+            restored[start : start + TILE_ROWS] = restore_metadata_tile(
+                blocks[start : start + TILE_ROWS]
+            )
+        blocks = restored
+    return unpack_blocks_to_nibbles(blocks)
+
+
+def metadata_nbytes(rows: int, cols: int, pattern) -> int:
+    """Bytes of metadata for a ``rows x cols`` matrix under ``pattern``."""
+    pattern = resolve_pattern(pattern)
+    groups = pattern.groups(cols)
+    return rows * groups * pattern.metadata_bits_per_group // 8

@@ -1,0 +1,155 @@
+"""Dynamic N:M selection of attention scores.
+
+The pruning rule is the one implemented by the CUDA epilogue in the paper:
+for every group of M consecutive entries along the last axis keep the N
+largest ones.  For attention scores "largest" means largest *value* (softmax
+is monotonically increasing, so the largest scores carry the largest attention
+weights); for static weight pruning the conventional criterion is largest
+*absolute* value.  Both are supported via ``criterion``.
+
+All functions are fully vectorised over arbitrary leading batch dimensions.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.patterns import NMPattern, resolve_pattern
+
+#: Selection criteria supported by :func:`nm_group_topn_indices`.
+CRITERIA = ("value", "magnitude")
+
+
+def _group_view(x: np.ndarray, pattern: NMPattern) -> np.ndarray:
+    """Reshape the last axis of ``x`` into ``(groups, M)`` groups."""
+    x = np.asarray(x, dtype=np.float32)
+    pattern.validate_length(x.shape[-1])
+    new_shape = x.shape[:-1] + (x.shape[-1] // pattern.m, pattern.m)
+    return x.reshape(new_shape)
+
+
+def _selection_key(groups: np.ndarray, criterion: str) -> np.ndarray:
+    if criterion == "value":
+        return groups
+    if criterion == "magnitude":
+        return np.abs(groups)
+    raise ValueError(f"unknown criterion {criterion!r}; expected one of {CRITERIA}")
+
+
+def nm_group_topn_indices(
+    x: np.ndarray, pattern, criterion: str = "value"
+) -> np.ndarray:
+    """Indices (within each M-group) of the N kept entries.
+
+    Returns an integer array of shape ``x.shape[:-1] + (groups, N)`` whose
+    entries are in ``[0, M)`` and sorted ascending within each group, matching
+    the hardware metadata convention (lower index stored first).  Ties are
+    broken towards the lower index, which is what a left-to-right register
+    comparison produces.
+    """
+    pattern = resolve_pattern(pattern)
+    groups = _group_view(x, pattern)
+    key = _selection_key(groups, criterion)
+    # stable argsort of the negated key keeps the lower index on ties
+    order = np.argsort(-key, axis=-1, kind="stable")
+    kept = order[..., : pattern.n]
+    kept.sort(axis=-1)
+    return kept
+
+
+def nm_prune_mask(x: np.ndarray, pattern, criterion: str = "value") -> np.ndarray:
+    """Boolean mask of the same shape as ``x``: ``True`` where the entry survives."""
+    pattern = resolve_pattern(pattern)
+    x = np.asarray(x, dtype=np.float32)
+    kept = nm_group_topn_indices(x, pattern, criterion)
+    groups_shape = x.shape[:-1] + (x.shape[-1] // pattern.m, pattern.m)
+    mask = np.zeros(groups_shape, dtype=bool)
+    np.put_along_axis(mask, kept, True, axis=-1)
+    return mask.reshape(x.shape)
+
+
+def nm_prune_dense(
+    x: np.ndarray,
+    pattern,
+    criterion: str = "value",
+    fill_value: float = 0.0,
+) -> np.ndarray:
+    """Dense copy of ``x`` with pruned entries replaced by ``fill_value``.
+
+    ``fill_value=-inf`` is the right choice when the result feeds a dense
+    softmax (pruned logits must not contribute); ``0.0`` matches the dense
+    representation of the compressed matrix after softmax.
+    """
+    mask = nm_prune_mask(x, pattern, criterion)
+    out = np.array(x, dtype=np.float32, copy=True)
+    out[~mask] = fill_value
+    return out
+
+
+def nm_compress(
+    x: np.ndarray, pattern, criterion: str = "value"
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Compress ``x`` to ``(values, indices)`` under an N:M pattern.
+
+    ``values`` has shape ``x.shape[:-1] + (kept,)`` with ``kept = cols // M * N``
+    and holds the surviving entries in row order.  ``indices`` (same shape,
+    ``int8``) holds each surviving entry's offset within its M-group, i.e. the
+    information carried by the hardware metadata.
+    """
+    pattern = resolve_pattern(pattern)
+    groups = _group_view(x, pattern)
+    kept_idx = nm_group_topn_indices(x, pattern, criterion)
+    values = np.take_along_axis(groups, kept_idx, axis=-1)
+    flat_shape = x.shape[:-1] + (pattern.kept(x.shape[-1]),)
+    return (
+        values.reshape(flat_shape).astype(np.float32),
+        kept_idx.reshape(flat_shape).astype(np.int8),
+    )
+
+
+def nm_decompress(
+    values: np.ndarray, indices: np.ndarray, pattern, cols: int, fill_value: float = 0.0
+) -> np.ndarray:
+    """Inverse of :func:`nm_compress`: scatter compressed values back to dense."""
+    pattern = resolve_pattern(pattern)
+    pattern.validate_length(cols)
+    values = np.asarray(values, dtype=np.float32)
+    indices = np.asarray(indices)
+    if values.shape != indices.shape:
+        raise ValueError(
+            f"values shape {values.shape} and indices shape {indices.shape} differ"
+        )
+    expected_kept = pattern.kept(cols)
+    if values.shape[-1] != expected_kept:
+        raise ValueError(
+            f"compressed width {values.shape[-1]} does not match kept({cols})={expected_kept}"
+        )
+    groups = cols // pattern.m
+    g_vals = values.reshape(values.shape[:-1] + (groups, pattern.n))
+    g_idx = indices.reshape(indices.shape[:-1] + (groups, pattern.n)).astype(np.int64)
+    dense_groups = np.full(values.shape[:-1] + (groups, pattern.m), fill_value, dtype=np.float32)
+    np.put_along_axis(dense_groups, g_idx, g_vals, axis=-1)
+    return dense_groups.reshape(values.shape[:-1] + (cols,))
+
+
+def global_column_indices(indices: np.ndarray, pattern, cols: int) -> np.ndarray:
+    """Convert within-group offsets to absolute column indices in the dense matrix."""
+    pattern = resolve_pattern(pattern)
+    pattern.validate_length(cols)
+    indices = np.asarray(indices)
+    groups = cols // pattern.m
+    kept = groups * pattern.n
+    if indices.shape[-1] != kept:
+        raise ValueError(
+            f"indices width {indices.shape[-1]} does not match kept({cols})={kept}"
+        )
+    group_base = np.repeat(np.arange(groups, dtype=np.int64) * pattern.m, pattern.n)
+    return indices.astype(np.int64) + group_base
+
+
+def density_of_mask(mask: np.ndarray) -> float:
+    """Fraction of ``True`` entries in a boolean mask (the paper's density ``s``)."""
+    mask = np.asarray(mask, dtype=bool)
+    return float(mask.mean()) if mask.size else 0.0

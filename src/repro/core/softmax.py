@@ -1,0 +1,85 @@
+"""Numerically-stable softmax for dense and N:M-compressed score matrices.
+
+Because the compressed nonzero matrix is only ``N/M`` of the dense width, the
+softmax that follows the SDDMM touches half as much data (Section 3.2: "the
+succeeding softmax is also accelerated").  The sparse variant normalises over
+the *stored* entries only, which is mathematically identical to a dense
+softmax whose pruned logits were set to ``-inf``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.sparse import NMSparseMatrix
+
+#: Values at or below this threshold are treated as masked-out logits (they
+#: come from blocked-ELL masking in the fused SDDMM) and receive zero weight.
+MASKED_LOGIT_THRESHOLD = -1e29
+
+
+def dense_softmax(scores: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Standard max-subtracted softmax along ``axis``."""
+    scores = np.asarray(scores, dtype=np.float32)
+    shifted = scores - np.max(scores, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+def masked_dense_softmax(
+    scores: np.ndarray, mask: np.ndarray, axis: int = -1
+) -> np.ndarray:
+    """Dense softmax where positions with ``mask == False`` receive zero weight."""
+    scores = np.asarray(scores, dtype=np.float32)
+    mask = np.asarray(mask, dtype=bool)
+    neg = np.where(mask, scores, np.float32(-np.inf))
+    with np.errstate(invalid="ignore"):
+        # rows that are fully masked produce -inf - (-inf) = nan; forced to 0 below
+        shifted = neg - np.max(neg, axis=axis, keepdims=True)
+        exp = np.where(np.isfinite(shifted), np.exp(shifted), 0.0)
+    denom = np.sum(exp, axis=axis, keepdims=True)
+    denom = np.where(denom == 0.0, 1.0, denom)
+    return exp / denom
+
+
+def sparse_softmax(scores: NMSparseMatrix) -> NMSparseMatrix:
+    """Row softmax over the stored nonzeros of an N:M-compressed score matrix.
+
+    Entries produced by blocked-ELL masking (values ≤ ``MASKED_LOGIT_THRESHOLD``)
+    are excluded from the normalisation and receive exactly zero weight.
+    """
+    vals = scores.values
+    masked = vals <= MASKED_LOGIT_THRESHOLD
+    safe_vals = np.where(masked, -np.inf, vals)
+    row_max = np.max(safe_vals, axis=-1, keepdims=True)
+    row_max = np.where(np.isfinite(row_max), row_max, 0.0)
+    exp = np.where(masked, 0.0, np.exp(safe_vals - row_max))
+    denom = np.sum(exp, axis=-1, keepdims=True)
+    denom = np.where(denom == 0.0, 1.0, denom)
+    return scores.with_values(exp / denom)
+
+
+def sparse_softmax_streaming(scores: NMSparseMatrix, chunk_rows: int = 1024) -> NMSparseMatrix:
+    """Chunked variant of :func:`sparse_softmax` for very long sequences.
+
+    Mirrors the "long sequence" softmax implementation discussed in Appendix
+    A.4: rows are processed in chunks so only a bounded slice of the score
+    matrix is resident at once.  Numerically identical to the one-shot version.
+    """
+    vals = scores.values
+    flat = vals.reshape(-1, vals.shape[-1])
+    out = np.empty_like(flat)
+    for start in range(0, flat.shape[0], chunk_rows):
+        stop = min(start + chunk_rows, flat.shape[0])
+        chunk = flat[start:stop]
+        masked = chunk <= MASKED_LOGIT_THRESHOLD
+        safe = np.where(masked, -np.inf, chunk)
+        row_max = np.max(safe, axis=-1, keepdims=True)
+        row_max = np.where(np.isfinite(row_max), row_max, 0.0)
+        exp = np.where(masked, 0.0, np.exp(safe - row_max))
+        denom = np.sum(exp, axis=-1, keepdims=True)
+        denom = np.where(denom == 0.0, 1.0, denom)
+        out[start:stop] = exp / denom
+    return scores.with_values(out.reshape(vals.shape))

@@ -1,0 +1,92 @@
+"""SpMM: multiply an N:M-compressed attention-weight matrix with dense V.
+
+On the A100 this is the ``mma.sp`` sparse-tensor-core instruction consuming
+the (nonzeros, metadata) pair produced by the SDDMM epilogue.  Here the same
+contraction is expressed as a vectorised gather-and-matmul in NumPy; the
+performance benefit of the sparse tensor core is carried by the device model
+in :mod:`repro.gpusim`, while this module provides the exact numerics.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.sparse import NMSparseMatrix
+from repro.utils.shapes import as_batched_3d, restore_batch_shape
+
+
+def spmm(weights: NMSparseMatrix, v: np.ndarray) -> np.ndarray:
+    """Compute ``A_sparse @ V`` where ``A_sparse`` is N:M compressed.
+
+    Parameters
+    ----------
+    weights:
+        Compressed attention-weight matrix of dense shape ``(..., n_q, n_k)``.
+    v:
+        Dense value matrix of shape ``(..., n_k, d_v)`` with a matching batch
+        shape.
+
+    Returns
+    -------
+    Dense ``(..., n_q, d_v)`` output.
+    """
+    v = np.asarray(v, dtype=np.float32)
+    if v.shape[:-2] != weights.batch_shape:
+        raise ValueError(
+            f"V batch shape {v.shape[:-2]} != sparse batch shape {weights.batch_shape}"
+        )
+    if v.shape[-2] != weights.dense_cols:
+        raise ValueError(
+            f"V rows ({v.shape[-2]}) must equal the dense column count "
+            f"({weights.dense_cols}) of the sparse matrix"
+        )
+
+    vals3, batch_shape = as_batched_3d(weights.values)
+    cols = weights.column_indices()
+    cols3, _ = as_batched_3d(cols)
+    v3, _ = as_batched_3d(v)
+
+    batch, n_q, kept = vals3.shape
+    d_v = v3.shape[-1]
+    out = np.empty((batch, n_q, d_v), dtype=np.float32)
+    for b in range(batch):
+        # gather the rows of V addressed by the metadata: (n_q, kept, d_v)
+        gathered = v3[b][cols3[b]]
+        out[b] = np.einsum("qk,qkd->qd", vals3[b], gathered, optimize=True)
+    return restore_batch_shape(out, batch_shape)
+
+
+def spmm_dense_reference(weights: NMSparseMatrix, v: np.ndarray) -> np.ndarray:
+    """Reference implementation: densify the sparse matrix and matmul.
+
+    Used in tests to pin the semantics of :func:`spmm`.
+    """
+    dense = weights.to_dense(0.0)
+    return np.matmul(dense, np.asarray(v, dtype=np.float32))
+
+
+def spmm_row_blocked(
+    weights: NMSparseMatrix, v: np.ndarray, row_block: int = 128
+) -> np.ndarray:
+    """Row-blocked SpMM that bounds the size of the gathered V slices.
+
+    Matches the thread-block tiling of the CUTLASS SpMM kernel; useful when
+    ``n_q * kept * d_v`` would not fit in memory as a single gathered tensor.
+    """
+    v = np.asarray(v, dtype=np.float32)
+    vals3, batch_shape = as_batched_3d(weights.values)
+    cols3, _ = as_batched_3d(weights.column_indices())
+    v3, _ = as_batched_3d(v)
+    batch, n_q, _ = vals3.shape
+    d_v = v3.shape[-1]
+    out = np.empty((batch, n_q, d_v), dtype=np.float32)
+    for b in range(batch):
+        for r0 in range(0, n_q, row_block):
+            r1 = min(r0 + row_block, n_q)
+            gathered = v3[b][cols3[b, r0:r1]]
+            out[b, r0:r1] = np.einsum(
+                "qk,qkd->qd", vals3[b, r0:r1], gathered, optimize=True
+            )
+    return restore_batch_shape(out, batch_shape)

@@ -1,0 +1,230 @@
+"""Memory-traffic and speedup models (Section 4.3, Appendix A.3 / A.5).
+
+The paper argues that on tensor-core GPUs the attention stages are memory
+bound, so the latency of each stage is proportional to its global-memory
+traffic.  This module implements:
+
+* the per-stage memory-access counts of Table 5 (full attention and explicit
+  Top-K attention), plus the corresponding counts for fixed sparsity and the
+  dynamic 1:2 / 2:4 sparsity used to derive Eqs. (5) and (6);
+* the closed-form speedup expressions of Proposition 4.3 and Eqs. (5)-(6),
+  both the exact ratios and the ``n >> d`` asymptotic forms quoted in the
+  paper;
+* the efficiency-matched density crossovers of Eqs. (7)-(8);
+* the Performer traffic model of Eq. (33) in Appendix A.5.
+
+Default parameter values are the paper's "typical" ones: head dimension
+``d = 64`` and GPU tiling size ``T = 128``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+DEFAULT_HEAD_DIM = 64
+DEFAULT_TILE = 128
+
+
+@dataclass(frozen=True)
+class StageTraffic:
+    """Memory accesses (in elements) of the three attention stages."""
+
+    qk: float
+    softmax: float
+    av: float
+
+    @property
+    def total(self) -> float:
+        return self.qk + self.softmax + self.av
+
+
+# ------------------------------------------------------------------ Table 5 rows
+def full_attention_traffic(n: int, d: int = DEFAULT_HEAD_DIM, t: int = DEFAULT_TILE) -> StageTraffic:
+    """Memory accesses of full attention (Table 5, row "Full Attention")."""
+    qk = n * n * (2.0 * d / t + 1.0)
+    softmax = 2.0 * n * n
+    av = n * d * (2.0 * n / t + 1.0)
+    return StageTraffic(qk, softmax, av)
+
+
+def topk_attention_traffic(
+    n: int, density: float, d: int = DEFAULT_HEAD_DIM, t: int = DEFAULT_TILE
+) -> StageTraffic:
+    """Memory accesses of explicit Top-K attention (Table 5, row "Explicit Top-k")."""
+    s = density
+    qk = n * n * (2.0 * d / t + 1.0)  # the dense QK^T must still be computed
+    softmax = 2.0 * n * n * s
+    av = n * d * (s * n + s * n / t + 1.0)
+    return StageTraffic(qk, softmax, av)
+
+
+def fixed_attention_traffic(
+    n: int, density: float, d: int = DEFAULT_HEAD_DIM, t: int = DEFAULT_TILE
+) -> StageTraffic:
+    """Memory accesses of a GPU-friendly fixed sparse pattern at density ``s`` (Eq. 5)."""
+    s = density
+    qk = s * n * n * (2.0 * d / t + 1.0)
+    softmax = 2.0 * n * n * s
+    av = n * d * ((1.0 + s) * n / t + 1.0)
+    return StageTraffic(qk, softmax, av)
+
+
+def dfss_attention_traffic(
+    n: int, d: int = DEFAULT_HEAD_DIM, t: int = DEFAULT_TILE
+) -> StageTraffic:
+    """Memory accesses of dynamic 1:2 / 2:4 sparsity (numerator of Eq. 6).
+
+    The SDDMM reads the same operands as the dense GEMM but writes only the
+    compressed nonzeros (n²/2) plus metadata (n²/16); softmax touches the
+    compressed matrix twice (n²/2 read + n²/2 write -> n²); the SpMM reads the
+    compressed weights, the metadata and V with the usual tiling reuse.
+    """
+    qk = n * n * (2.0 * d / t + 0.5 + 1.0 / 16.0)
+    softmax = n * n
+    av = n * d * (n / t + n / (2.0 * t) + n / (16.0 * t) + 1.0)
+    return StageTraffic(qk, softmax, av)
+
+
+# ------------------------------------------------------------------- speedups
+def speedup_topk_bound(
+    density: float, d: int = DEFAULT_HEAD_DIM, t: int = DEFAULT_TILE
+) -> float:
+    """Asymptotic (n >> d) upper bound of the Top-K speedup (Proposition 4.3, Eq. 4)."""
+    s = density
+    return (4.0 * d + 3.0 * t) / (2.0 * d + t + (d + 2.0 * t + d * t) * s)
+
+
+def speedup_fixed(density: float, d: int = DEFAULT_HEAD_DIM, t: int = DEFAULT_TILE) -> float:
+    """Asymptotic fixed-sparsity speedup at density ``s`` (Eq. 5)."""
+    s = density
+    return (4.0 * d + 3.0 * t) / ((1.0 + 3.0 * s) * d + 3.0 * s * t)
+
+
+def speedup_dfss(d: int = DEFAULT_HEAD_DIM, t: int = DEFAULT_TILE) -> float:
+    """Asymptotic dynamic 1:2 / 2:4 speedup (Eq. 6): ``(64d + 48T) / (57d + 25T)``."""
+    return (64.0 * d + 48.0 * t) / (57.0 * d + 25.0 * t)
+
+
+def speedup_exact(n: int, traffic: StageTraffic, d: int = DEFAULT_HEAD_DIM, t: int = DEFAULT_TILE) -> float:
+    """Exact (finite-n) speedup of a mechanism vs full attention from traffic counts."""
+    full = full_attention_traffic(n, d, t)
+    return full.total / traffic.total
+
+
+def speedup_topk_exact(
+    n: int, density: float, d: int = DEFAULT_HEAD_DIM, t: int = DEFAULT_TILE
+) -> float:
+    """Exact Top-K speedup at sequence length ``n`` (pre-asymptotic form of Eq. 27)."""
+    return speedup_exact(n, topk_attention_traffic(n, density, d, t), d, t)
+
+
+def speedup_fixed_exact(
+    n: int, density: float, d: int = DEFAULT_HEAD_DIM, t: int = DEFAULT_TILE
+) -> float:
+    """Exact fixed-sparsity speedup at sequence length ``n`` (pre-asymptotic Eq. 5)."""
+    return speedup_exact(n, fixed_attention_traffic(n, density, d, t), d, t)
+
+
+def speedup_dfss_exact(n: int, d: int = DEFAULT_HEAD_DIM, t: int = DEFAULT_TILE) -> float:
+    """Exact DFSS speedup at sequence length ``n`` (pre-asymptotic Eq. 6)."""
+    return speedup_exact(n, dfss_attention_traffic(n, d, t), d, t)
+
+
+# ----------------------------------------------------------- efficiency crossovers
+def topk_equal_efficiency_density(d: int = DEFAULT_HEAD_DIM, t: int = DEFAULT_TILE) -> float:
+    """Density at which Top-K matches the DFSS speedup (Eq. 7); ≈0.02 for d=64, T=128."""
+    num = (4.0 * d + 3.0 * t) * (57.0 * d + 25.0 * t)
+    den = (64.0 * d + 48.0 * t) * (d + 2.0 * t + d * t)
+    return num / den - (2.0 * d + t) / (d + 2.0 * t + d * t)
+
+
+def fixed_equal_efficiency_density(d: int = DEFAULT_HEAD_DIM, t: int = DEFAULT_TILE) -> float:
+    """Density at which fixed sparsity matches the DFSS speedup (Eq. 8); ≈0.63.
+
+    Note: the preprint's Eq. (8) has the two speedup factors transposed (as
+    printed it evaluates to ≈1.55, which is not a density).  Solving
+    ``speedup_fixed(s) = speedup_dfss`` directly gives the form below, which
+    reproduces the quoted s ≈ 0.63.
+    """
+    num = (4.0 * d + 3.0 * t) * (57.0 * d + 25.0 * t)
+    den = (64.0 * d + 48.0 * t) * (3.0 * d + 3.0 * t)
+    return num / den - d / (3.0 * d + 3.0 * t)
+
+
+# -------------------------------------------------------------------- Performer
+def performer_traffic(
+    n: int,
+    d: int = DEFAULT_HEAD_DIM,
+    m: int = None,
+    t: int = DEFAULT_TILE,
+) -> float:
+    """Total memory accesses of the Performer pipeline (Eq. 33 numerator terms).
+
+    ``m`` is the number of random features; the paper uses ``m = d * ln(d)``
+    (≈266 for d=64) following Theorem 4 of the Performer paper.
+    """
+    if m is None:
+        m = int(round(d * np.log(d)))
+    phi = (
+        n * m * (2.0 * d / t + 1.0)  # T1 / T4 projections
+        + n * (d + 1.0)  # T2 / T5 squared-norm reductions
+        + n * (m + 1.0)  # T3 / T6 row maxima
+        + n * (m + 3.0)  # phi assembly (read T1, T2, T3 broadcast, write phi)
+    )
+    total = (
+        2.0 * phi  # phi(Q) and phi(K)
+        + m * (n + 1.0)  # T7 column sum of phi(K)
+        + n * (m / t + m + 1.0)  # T8 normaliser
+        + m * d * (2.0 * n / t + 1.0)  # T9 = phi(K)^T V
+        + n * d * (2.0 * m / t + 1.0)  # T10 = phi(Q) T9
+        + n  # final elementwise scale by T8
+    )
+    return total
+
+
+def speedup_performer(
+    n: int, d: int = DEFAULT_HEAD_DIM, m: int = None, t: int = DEFAULT_TILE
+) -> float:
+    """Performer speedup over full attention at sequence length ``n`` (Eq. 33)."""
+    full = full_attention_traffic(n, d, t).total
+    return full / performer_traffic(n, d, m, t)
+
+
+def performer_breakeven_length(
+    d: int = DEFAULT_HEAD_DIM, m: int = None, t: int = DEFAULT_TILE, n_max: int = 1 << 16
+) -> int:
+    """Smallest sequence length at which the Performer model predicts speedup > 1.
+
+    The paper quotes ``n > 672`` for d=64, T=128, m=266.
+    """
+    lo, hi = 2, n_max
+    if speedup_performer(hi, d, m, t) <= 1.0:
+        raise ValueError("Performer never reaches speedup > 1 within n_max")
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if speedup_performer(mid, d, m, t) > 1.0:
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo
+
+
+def dfss_performer_crossover_length(
+    d: int = DEFAULT_HEAD_DIM, m: int = None, t: int = DEFAULT_TILE, n_max: int = 1 << 20
+) -> int:
+    """Smallest ``n`` at which the Performer speedup exceeds the DFSS speedup.
+
+    The paper quotes ``n > 1002`` for the default parameters.
+    """
+    lo, hi = 2, n_max
+    if speedup_performer(hi, d, m, t) <= speedup_dfss_exact(hi, d, t):
+        raise ValueError("Performer never overtakes DFSS within n_max")
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if speedup_performer(mid, d, m, t) > speedup_dfss_exact(mid, d, t):
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo

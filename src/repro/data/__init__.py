@@ -1,0 +1,38 @@
+"""Synthetic datasets standing in for the paper's evaluation corpora.
+
+The paper evaluates on SQuAD v1.1, Wikitext-2/103 and four Long Range Arena
+tasks — none of which can be downloaded in this offline environment.  Each
+module here generates a synthetic task with the same *structure* (input
+format, label type, evaluation metric) at a configurable scale, so the
+relative comparisons between attention mechanisms are preserved:
+
+* :mod:`repro.data.qa` — span-extraction QA (SQuAD stand-in, Tables 1/2);
+* :mod:`repro.data.mlm` — Markov-chain masked language modelling
+  (Wikitext stand-in, Table 3);
+* :mod:`repro.data.listops` — nested list operations (LRA ListOps);
+* :mod:`repro.data.textcls` — byte-level text classification (LRA Text);
+* :mod:`repro.data.retrieval` — document matching (LRA Retrieval);
+* :mod:`repro.data.image` — pixel-sequence image classification (LRA Image).
+"""
+
+from repro.data.qa import SynthQAConfig, generate_qa_dataset
+from repro.data.mlm import SynthMLMConfig, generate_mlm_dataset
+from repro.data.listops import ListOpsConfig, generate_listops_dataset
+from repro.data.textcls import TextClsConfig, generate_textcls_dataset
+from repro.data.retrieval import RetrievalConfig, generate_retrieval_dataset
+from repro.data.image import ImageClsConfig, generate_image_dataset
+
+__all__ = [
+    "SynthQAConfig",
+    "generate_qa_dataset",
+    "SynthMLMConfig",
+    "generate_mlm_dataset",
+    "ListOpsConfig",
+    "generate_listops_dataset",
+    "TextClsConfig",
+    "generate_textcls_dataset",
+    "RetrievalConfig",
+    "generate_retrieval_dataset",
+    "ImageClsConfig",
+    "generate_image_dataset",
+]

@@ -1,0 +1,75 @@
+"""Synthetic masked-language-modelling task (Wikitext-2/103 stand-in, Table 3).
+
+Sequences are sampled from a sparse first-order Markov chain over the
+vocabulary, so each token is strongly predictable from its neighbours.  A
+fraction of the tokens is replaced by a [MASK] token and the model must
+recover them; the evaluation metric is perplexity over the masked positions,
+matching the paper's Table 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.seeding import SeedLike, new_rng
+
+PAD, MASK = 0, 1
+FIRST_CONTENT_TOKEN = 2
+IGNORE_INDEX = -100
+
+
+@dataclass(frozen=True)
+class SynthMLMConfig:
+    """Scale parameters for the synthetic MLM task."""
+
+    num_examples: int = 128
+    seq_len: int = 64
+    vocab_size: int = 64
+    branching: int = 4  # successors per token in the Markov chain
+    mask_prob: float = 0.15
+
+    def __post_init__(self):
+        if self.vocab_size <= FIRST_CONTENT_TOKEN + 1:
+            raise ValueError("vocab_size too small")
+        if not 0.0 < self.mask_prob < 1.0:
+            raise ValueError("mask_prob must lie in (0, 1)")
+        if self.branching < 1:
+            raise ValueError("branching must be >= 1")
+
+
+def _markov_transitions(cfg: SynthMLMConfig, rng: np.random.Generator) -> np.ndarray:
+    """Successor table: for every content token, ``branching`` allowed successors."""
+    content = cfg.vocab_size - FIRST_CONTENT_TOKEN
+    return rng.integers(
+        FIRST_CONTENT_TOKEN, cfg.vocab_size, size=(content, cfg.branching)
+    )
+
+
+def generate_mlm_dataset(
+    config: SynthMLMConfig = SynthMLMConfig(), seed: SeedLike = 0
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Generate ``(masked_tokens, targets)``.
+
+    ``targets`` equals the original token at masked positions and
+    ``IGNORE_INDEX`` everywhere else, matching the convention of
+    :func:`repro.nn.functional.cross_entropy`.
+    """
+    rng = new_rng(seed)
+    cfg = config
+    transitions = _markov_transitions(cfg, rng)
+    tokens = np.zeros((cfg.num_examples, cfg.seq_len), dtype=np.int64)
+    for i in range(cfg.num_examples):
+        current = int(rng.integers(FIRST_CONTENT_TOKEN, cfg.vocab_size))
+        for t in range(cfg.seq_len):
+            tokens[i, t] = current
+            successors = transitions[current - FIRST_CONTENT_TOKEN]
+            current = int(successors[rng.integers(0, cfg.branching)])
+    mask = rng.random(tokens.shape) < cfg.mask_prob
+    # never mask the first token (no left context to recover it from)
+    mask[:, 0] = False
+    targets = np.where(mask, tokens, IGNORE_INDEX)
+    masked_tokens = np.where(mask, MASK, tokens)
+    return masked_tokens, targets

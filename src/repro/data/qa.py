@@ -1,0 +1,100 @@
+"""Synthetic span-extraction QA (SQuAD v1.1 stand-in, Tables 1 and 2).
+
+Each example is a "context" of random filler tokens into which a short
+*fact* is planted: a key token followed by a value phrase.  The "question"
+(prepended to the context, separated by a [SEP] token) repeats the key token;
+the model must predict the start/end positions of the value phrase.  Solving
+the task requires content-based attention from the question tokens to the
+matching position in the context — the same skill span-extraction QA tests —
+so pruning attention too aggressively hurts, while keeping the high-magnitude
+edges (DFSS) does not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.seeding import SeedLike, new_rng
+
+#: Special token ids.
+PAD, CLS, SEP = 0, 1, 2
+#: First id usable for content tokens.
+FIRST_CONTENT_TOKEN = 3
+
+
+@dataclass(frozen=True)
+class SynthQAConfig:
+    """Scale parameters for the synthetic QA task."""
+
+    num_examples: int = 256
+    seq_len: int = 64
+    vocab_size: int = 64
+    num_keys: int = 8
+    answer_len: int = 3
+    question_len: int = 4
+
+    def __post_init__(self):
+        if self.vocab_size <= FIRST_CONTENT_TOKEN + self.num_keys:
+            raise ValueError("vocab_size too small for the requested number of keys")
+        min_len = self.question_len + 2 + self.answer_len + 2
+        if self.seq_len < min_len:
+            raise ValueError(f"seq_len must be at least {min_len}")
+
+
+def generate_qa_dataset(
+    config: SynthQAConfig = SynthQAConfig(), seed: SeedLike = 0
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Generate ``(token_ids, spans)`` arrays.
+
+    ``token_ids`` has shape ``(num_examples, seq_len)``; ``spans`` has shape
+    ``(num_examples, 2)`` holding the inclusive start/end indices of the
+    answer phrase within the sequence.
+    """
+    rng = new_rng(seed)
+    cfg = config
+    key_tokens = np.arange(FIRST_CONTENT_TOKEN, FIRST_CONTENT_TOKEN + cfg.num_keys)
+    filler_lo = FIRST_CONTENT_TOKEN + cfg.num_keys
+    tokens = np.zeros((cfg.num_examples, cfg.seq_len), dtype=np.int64)
+    spans = np.zeros((cfg.num_examples, 2), dtype=np.int64)
+
+    context_start = cfg.question_len + 2  # [CLS] question ... [SEP]
+    for i in range(cfg.num_examples):
+        key = int(rng.choice(key_tokens))
+        seq = rng.integers(filler_lo, cfg.vocab_size, size=cfg.seq_len)
+        seq[0] = CLS
+        # question: the key token repeated among filler, then [SEP]
+        seq[1 : 1 + cfg.question_len] = rng.integers(
+            filler_lo, cfg.vocab_size, size=cfg.question_len
+        )
+        seq[1] = key
+        seq[1 + cfg.question_len] = SEP
+        # plant the fact: key followed by the answer phrase, somewhere in the context
+        answer_start = int(
+            rng.integers(context_start + 1, cfg.seq_len - cfg.answer_len)
+        )
+        seq[answer_start - 1] = key
+        answer = rng.integers(filler_lo, cfg.vocab_size, size=cfg.answer_len)
+        seq[answer_start : answer_start + cfg.answer_len] = answer
+        tokens[i] = seq
+        spans[i] = (answer_start, answer_start + cfg.answer_len - 1)
+    return tokens, spans
+
+
+def train_test_split(
+    tokens: np.ndarray, labels: np.ndarray, test_fraction: float = 0.25, seed: SeedLike = 0
+):
+    """Deterministic shuffled split shared by all the synthetic datasets."""
+    rng = new_rng(seed)
+    n = len(tokens)
+    order = rng.permutation(n)
+    n_test = max(1, int(round(test_fraction * n)))
+    test_idx, train_idx = order[:n_test], order[n_test:]
+    return (
+        tokens[train_idx],
+        labels[train_idx],
+        tokens[test_idx],
+        labels[test_idx],
+    )

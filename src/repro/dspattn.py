@@ -1,0 +1,86 @@
+"""``dspattn`` compatibility shim — the package name used in Figure 3 of the paper.
+
+The paper's usage example imports a package called ``dspattn`` and swaps three
+lines of an attention implementation:
+
+    from dspattn import GEMM, Softmax, SpMM          # (paper, Figure 3)
+    nonzeros, metadata = GEMM(query, key)
+    attn = Softmax(nonzeros)
+    out = SpMM(attn, metadata, value)
+
+This module exposes the same three-step API on top of :mod:`repro.core` so
+code written against the paper's snippet runs unchanged.  The compressed
+attention matrix travels between the calls as an
+:class:`~repro.core.sparse.NMSparseMatrix`; ``metadata`` in the signature is
+kept for drop-in compatibility (the object already carries its metadata).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.patterns import default_pattern_for_dtype, resolve_pattern
+from repro.core.sddmm import sddmm_nm
+from repro.core.softmax import sparse_softmax
+from repro.core.sparse import NMSparseMatrix
+from repro.core.spmm import spmm
+
+
+def GEMM(
+    query: np.ndarray,
+    key: np.ndarray,
+    pattern=None,
+    dtype: str = "float32",
+    scale: Optional[float] = None,
+) -> Tuple[NMSparseMatrix, np.ndarray]:
+    """Fused ``Q Kᵀ`` + N:M prune, returning ``(nonzeros, metadata)`` as in Figure 3.
+
+    ``nonzeros`` is the compressed score matrix (an
+    :class:`~repro.core.sparse.NMSparseMatrix`); ``metadata`` is the packed
+    uint16 metadata stream the hardware kernel would write to DRAM.
+    """
+    sparse_scores = sddmm_nm(query, key, pattern=pattern, dtype=dtype, scale=scale)
+    return sparse_scores, sparse_scores.packed_metadata()
+
+
+def Softmax(nonzeros: NMSparseMatrix) -> NMSparseMatrix:
+    """Row softmax over the compressed nonzeros."""
+    if not isinstance(nonzeros, NMSparseMatrix):
+        raise TypeError("dspattn.Softmax expects the compressed matrix returned by dspattn.GEMM")
+    return sparse_softmax(nonzeros)
+
+
+def SpMM(attn: NMSparseMatrix, metadata: np.ndarray, value: np.ndarray) -> np.ndarray:
+    """Sparse attention-weight matrix times dense ``value``.
+
+    ``metadata`` is accepted (and sanity-checked) for signature compatibility
+    with the paper's snippet; the compressed matrix already carries it.
+    """
+    if not isinstance(attn, NMSparseMatrix):
+        raise TypeError("dspattn.SpMM expects the compressed matrix returned by dspattn.Softmax")
+    if metadata is not None:
+        expected = attn.packed_metadata()
+        metadata = np.asarray(metadata)
+        if metadata.shape != expected.shape:
+            raise ValueError(
+                f"metadata shape {metadata.shape} does not match the compressed matrix "
+                f"(expected {expected.shape})"
+            )
+    return spmm(attn, value)
+
+
+class DynamicSparseAttention:
+    """Object-style wrapper over the three-call API (one line to construct, one to call)."""
+
+    def __init__(self, pattern=None, dtype: str = "float32"):
+        self.dtype = dtype
+        self.pattern = (
+            default_pattern_for_dtype(dtype) if pattern is None else resolve_pattern(pattern)
+        )
+
+    def __call__(self, query: np.ndarray, key: np.ndarray, value: np.ndarray) -> np.ndarray:
+        nonzeros, metadata = GEMM(query, key, pattern=self.pattern, dtype=self.dtype)
+        attn = Softmax(nonzeros)
+        return SpMM(attn, metadata, value)

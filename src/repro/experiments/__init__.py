@@ -1,0 +1,13 @@
+"""Experiment harness: one module per table / figure of the paper.
+
+Every experiment exposes a ``run(scale=..., seed=...)`` function returning a
+dictionary with a ``rows`` list (the same rows/series the paper reports) plus
+whatever intermediate data is useful, and a ``format_result(result)`` helper
+that renders the table as text.  :mod:`repro.experiments.registry` maps
+experiment ids ("table1", "figure5", ...) to these functions so the benchmark
+harness and the command line runner share one entry point.
+"""
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment, list_experiments, run_experiment
+
+__all__ = ["EXPERIMENTS", "get_experiment", "list_experiments", "run_experiment"]

@@ -1,0 +1,50 @@
+"""Command-line runner: ``python -m repro.experiments [experiment ...]``.
+
+Examples
+--------
+Run every experiment at the default scale::
+
+    python -m repro.experiments
+
+Run one experiment at a given scale::
+
+    REPRO_SCALE=smoke python -m repro.experiments figure5 table2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment, list_experiments
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description="DFSS reproduction experiment runner")
+    parser.add_argument("experiments", nargs="*", default=[],
+                        help=f"experiment ids to run (default: all). Available: {list_experiments()}")
+    parser.add_argument("--scale", default=None, choices=["smoke", "default", "full"],
+                        help="experiment scale (overrides $REPRO_SCALE)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--list", action="store_true", help="list experiments and exit")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for key in list_experiments():
+            print(f"{key:14s} {EXPERIMENTS[key].description}")
+        return 0
+
+    keys = args.experiments or list_experiments()
+    for key in keys:
+        exp = get_experiment(key)
+        start = time.time()
+        result = exp.run(scale=args.scale, seed=args.seed)
+        elapsed = time.time() - start
+        print(exp.format_result(result))
+        print(f"[{key} finished in {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

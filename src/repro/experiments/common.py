@@ -1,0 +1,122 @@
+"""Shared helpers for the experiment harness: scales, model builders, caching."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.data.image import ImageClsConfig
+from repro.data.listops import ListOpsConfig
+from repro.data.mlm import SynthMLMConfig
+from repro.data.qa import SynthQAConfig
+from repro.data.retrieval import RetrievalConfig
+from repro.data.textcls import TextClsConfig
+
+#: Recognised experiment scales, smallest first.
+SCALES = ("smoke", "default", "full")
+
+
+def resolve_scale(scale: Optional[str] = None) -> str:
+    """Pick the experiment scale: explicit argument, else $REPRO_SCALE, else default."""
+    value = scale or os.environ.get("REPRO_SCALE", "default")
+    value = value.lower()
+    if value not in SCALES:
+        raise ValueError(f"unknown scale {value!r}; expected one of {SCALES}")
+    return value
+
+
+@dataclass(frozen=True)
+class ModelScale:
+    """Transformer size and training length for one experiment scale."""
+
+    model_dim: int
+    num_heads: int
+    num_layers: int
+    ffn_dim: int
+    train_steps: int
+    finetune_steps: int
+    batch_size: int
+    lr: float = 3e-3
+
+
+_MODEL_SCALES: Dict[str, ModelScale] = {
+    "smoke": ModelScale(32, 2, 1, 64, 60, 15, 16),
+    "default": ModelScale(64, 4, 2, 128, 220, 40, 16),
+    "full": ModelScale(64, 4, 2, 256, 600, 120, 32, lr=2e-3),
+}
+
+
+def model_scale(scale: str) -> ModelScale:
+    return _MODEL_SCALES[resolve_scale(scale)]
+
+
+# ---------------------------------------------------------------- data scales
+def qa_config(scale: str) -> SynthQAConfig:
+    return {
+        "smoke": SynthQAConfig(num_examples=128, seq_len=48, vocab_size=48),
+        "default": SynthQAConfig(num_examples=256, seq_len=64, vocab_size=64),
+        "full": SynthQAConfig(num_examples=768, seq_len=128, vocab_size=96),
+    }[resolve_scale(scale)]
+
+
+def mlm_config(scale: str) -> SynthMLMConfig:
+    return {
+        "smoke": SynthMLMConfig(num_examples=96, seq_len=48, vocab_size=48),
+        "default": SynthMLMConfig(num_examples=160, seq_len=64, vocab_size=64),
+        "full": SynthMLMConfig(num_examples=512, seq_len=128, vocab_size=96),
+    }[resolve_scale(scale)]
+
+
+def listops_config(scale: str) -> ListOpsConfig:
+    return {
+        "smoke": ListOpsConfig(num_examples=160, seq_len=48, max_depth=2),
+        "default": ListOpsConfig(num_examples=256, seq_len=64, max_depth=2),
+        "full": ListOpsConfig(num_examples=768, seq_len=128, max_depth=3),
+    }[resolve_scale(scale)]
+
+
+def textcls_config(scale: str) -> TextClsConfig:
+    return {
+        "smoke": TextClsConfig(num_examples=160, seq_len=48),
+        "default": TextClsConfig(num_examples=256, seq_len=64),
+        "full": TextClsConfig(num_examples=768, seq_len=128),
+    }[resolve_scale(scale)]
+
+
+def retrieval_config(scale: str) -> RetrievalConfig:
+    return {
+        "smoke": RetrievalConfig(num_examples=96, seq_len=48),
+        "default": RetrievalConfig(num_examples=160, seq_len=64),
+        "full": RetrievalConfig(num_examples=512, seq_len=128),
+    }[resolve_scale(scale)]
+
+
+def image_config(scale: str) -> ImageClsConfig:
+    return {
+        "smoke": ImageClsConfig(num_examples=160, image_size=8),
+        "default": ImageClsConfig(num_examples=256, image_size=12),
+        "full": ImageClsConfig(num_examples=768, image_size=16),
+    }[resolve_scale(scale)]
+
+
+# ------------------------------------------------------------- model builders
+def build_encoder(vocab_size: int, max_len: int, scale: str, mechanism: str = "full",
+                  seed: int = 0, **mechanism_kwargs):
+    """Build a :class:`~repro.nn.transformer.TransformerEncoder` at an experiment scale."""
+    from repro.nn.transformer import TransformerEncoder
+
+    ms = model_scale(scale)
+    return TransformerEncoder(
+        vocab_size=vocab_size,
+        max_len=max_len,
+        model_dim=ms.model_dim,
+        num_heads=ms.num_heads,
+        num_layers=ms.num_layers,
+        ffn_dim=ms.ffn_dim,
+        mechanism=mechanism,
+        seed=seed,
+        **mechanism_kwargs,
+    )

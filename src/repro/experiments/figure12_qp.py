@@ -1,0 +1,83 @@
+"""Figure 12: lottery-ticket quality Q_p vs density for Top-K / fixed / 1:2 / 2:4.
+
+Solid lines in the paper are the closed forms of Proposition 4.2; box plots
+are empirical values over BERT-large attention matrices on SQuAD.  Here the
+empirical values are computed over the attention score matrices of a small
+encoder trained on the synthetic QA task (or, at smoke scale, over Gaussian
+scores, which is the proposition's own modelling assumption).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.lottery import (
+    fixed_mask,
+    nm_mask,
+    qp_1_2_theory,
+    qp_empirical_from_scores,
+    qp_fixed_theory,
+    qp_topk_theory,
+    topk_mask,
+)
+from repro.experiments.common import build_encoder, model_scale, qa_config, resolve_scale
+from repro.utils.formatting import format_table
+from repro.utils.seeding import new_rng
+
+P_VALUES = (1.0, 2.0, 3.0, 7.0)
+DENSITIES = (0.02, 0.1, 0.2, 0.3, 0.5)
+
+
+def _score_matrices(scale: str, seed: int) -> np.ndarray:
+    """Attention score matrices used for the empirical box values."""
+    rng = new_rng(seed)
+    if resolve_scale(scale) == "smoke":
+        return rng.normal(size=(8, 128, 128)).astype(np.float32)
+    from repro.data.qa import generate_qa_dataset
+    from repro.nn.trainer import Trainer
+    from repro.nn.transformer import SpanQAModel
+
+    cfg = qa_config(scale)
+    ms = model_scale(scale)
+    tokens, spans = generate_qa_dataset(cfg, seed=seed)
+    encoder = build_encoder(cfg.vocab_size, cfg.seq_len, scale, mechanism="full", seed=seed)
+    model = SpanQAModel(encoder, seed=seed + 1)
+    Trainer(model, lr=ms.lr, batch_size=ms.batch_size, seed=seed).train_steps(
+        tokens, spans, max_steps=ms.train_steps // 2
+    )
+    weights = encoder.attention_weight_matrices(tokens[:4])[0]  # first layer
+    # convert the weight matrices back to "score-like" quantities via log
+    return np.log(np.maximum(weights, 1e-9)).reshape(-1, weights.shape[-2], weights.shape[-1])
+
+
+def run(scale: Optional[str] = None, seed: int = 0) -> Dict:
+    scale = resolve_scale(scale)
+    scores = _score_matrices(scale, seed)
+    rows: List[List] = []
+    for p in P_VALUES:
+        for s in DENSITIES:
+            emp_topk = qp_empirical_from_scores(scores, topk_mask(scores, s), p)
+            emp_fixed = qp_empirical_from_scores(scores, fixed_mask(scores.shape, s), p)
+            rows.append([
+                p, s,
+                qp_topk_theory(s, p), emp_topk,
+                qp_fixed_theory(s), emp_fixed,
+            ])
+        emp_12 = qp_empirical_from_scores(scores, nm_mask(scores, "1:2"), p)
+        emp_24 = qp_empirical_from_scores(scores, nm_mask(scores, "2:4"), p)
+        rows.append([p, 0.5, qp_1_2_theory(p), emp_12, qp_1_2_theory(p), emp_24])
+    return {
+        "experiment": "figure12",
+        "scale": scale,
+        "headers": ["p", "density", "theory A", "empirical A", "theory B", "empirical B"],
+        "rows": rows,
+        "note": "for each p the last row holds 1:2 (A) and 2:4 (B) at density 0.5",
+    }
+
+
+def format_result(result: Dict) -> str:
+    return format_table(result["headers"], result["rows"], digits=4,
+                        title="Figure 12 (Q_p vs density; A=Top-K rows, B=fixed rows, "
+                              "last row per p = 1:2 / 2:4)")

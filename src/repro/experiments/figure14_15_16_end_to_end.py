@@ -1,0 +1,135 @@
+"""Figures 14, 15 and 16: end-to-end speedup, latency breakdown and peak memory.
+
+All three come from the transformer-layer performance model
+(:mod:`repro.gpusim.end_to_end`, :mod:`repro.gpusim.memory`) over the grid of
+Appendix A.6: dtype x heads {4, 8} x FFN hidden {256, 512, 1024} x sequence
+length {512, 1024, 2048, 4096}.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.experiments.common import resolve_scale
+from repro.gpusim.end_to_end import LayerConfig, end_to_end_breakdown, end_to_end_speedup
+from repro.gpusim.memory import end_to_end_peak_memory
+from repro.utils.formatting import format_table
+
+MECHANISMS = ("dfss", "performer", "reformer", "routing", "sinkhorn", "nystromformer")
+SEQ_LENS = (512, 1024, 2048, 4096)
+HEADS = (4, 8)
+HIDDENS = (256, 512, 1024)
+DTYPES = ("float32", "bfloat16")
+
+
+def _grid(scale: str):
+    if scale == "smoke":
+        return ("bfloat16",), (4,), (256,), SEQ_LENS
+    if scale == "default":
+        return DTYPES, (4, 8), (256, 1024), SEQ_LENS
+    return DTYPES, HEADS, HIDDENS, SEQ_LENS
+
+
+def run_figure14(scale: Optional[str] = None, seed: int = 0) -> Dict:
+    """End-to-end speedup of every mechanism over the dense transformer (Fig. 14)."""
+    scale = resolve_scale(scale)
+    dtypes, heads, hiddens, seq_lens = _grid(scale)
+    rows: List[List] = []
+    dfss_speedups = []
+    for dtype in dtypes:
+        for h in heads:
+            for hidden in hiddens:
+                for n in seq_lens:
+                    cfg = LayerConfig(seq_len=n, num_heads=h, ffn_hidden=hidden, dtype=dtype)
+                    row = [dtype, h, hidden, n]
+                    for mech in MECHANISMS:
+                        s = end_to_end_speedup(mech, cfg)
+                        row.append(s)
+                        if mech == "dfss":
+                            dfss_speedups.append(s)
+                    rows.append(row)
+    return {
+        "experiment": "figure14",
+        "scale": scale,
+        "headers": ["dtype", "heads", "hidden", "seq_len"] + list(MECHANISMS),
+        "rows": rows,
+        "dfss_speedup_min": min(dfss_speedups),
+        "dfss_speedup_max": max(dfss_speedups),
+    }
+
+
+def run_figure15(scale: Optional[str] = None, seed: int = 0) -> Dict:
+    """Attention-vs-others latency split of dense vs DFSS under bfloat16 (Fig. 15)."""
+    scale = resolve_scale(scale)
+    _, heads, hiddens, seq_lens = _grid(scale)
+    rows: List[List] = []
+    for h in heads:
+        for hidden in hiddens:
+            for n in seq_lens:
+                cfg = LayerConfig(seq_len=n, num_heads=h, ffn_hidden=hidden, dtype="bfloat16")
+                table = end_to_end_breakdown(cfg, mechanisms=("transformer", "dfss"))
+                rows.append([
+                    h, hidden, n,
+                    table["transformer"]["attention"], table["transformer"]["others"],
+                    table["dfss"]["attention"], table["dfss"]["others"],
+                    table["dfss"]["speedup"],
+                ])
+    return {
+        "experiment": "figure15",
+        "scale": scale,
+        "headers": ["heads", "hidden", "seq_len", "dense attn", "dense others",
+                    "dfss attn", "dfss others", "dfss speedup"],
+        "rows": rows,
+    }
+
+
+def run_figure16(scale: Optional[str] = None, seed: int = 0) -> Dict:
+    """Peak activation memory normalised to the dense transformer (Fig. 16)."""
+    scale = resolve_scale(scale)
+    dtypes, heads, hiddens, seq_lens = _grid(scale)
+    rows: List[List] = []
+    dfss_reductions = []
+    for dtype in dtypes:
+        for h in heads:
+            for hidden in hiddens:
+                for n in seq_lens:
+                    cfg = LayerConfig(seq_len=n, num_heads=h, ffn_hidden=hidden, dtype=dtype)
+                    dense = end_to_end_peak_memory("transformer", cfg)
+                    row = [dtype, h, hidden, n]
+                    for mech in MECHANISMS:
+                        frac = end_to_end_peak_memory(mech, cfg) / dense
+                        row.append(frac)
+                        if mech == "dfss":
+                            dfss_reductions.append(1.0 / frac)
+                    rows.append(row)
+    return {
+        "experiment": "figure16",
+        "scale": scale,
+        "headers": ["dtype", "heads", "hidden", "seq_len"] + list(MECHANISMS),
+        "rows": rows,
+        "dfss_memory_reduction_min": min(dfss_reductions),
+        "dfss_memory_reduction_max": max(dfss_reductions),
+    }
+
+
+def format_figure14(result: Dict) -> str:
+    table = format_table(result["headers"], result["rows"], digits=2,
+                         title="Figure 14 (end-to-end speedup over the dense transformer)")
+    return table + (
+        f"\nDFSS end-to-end speedup range: {result['dfss_speedup_min']:.2f}x ~ "
+        f"{result['dfss_speedup_max']:.2f}x (paper: 1.08x ~ 1.52x)"
+    )
+
+
+def format_figure15(result: Dict) -> str:
+    return format_table(result["headers"], result["rows"], digits=3,
+                        title="Figure 15 (latency breakdown normalised to dense, bfloat16)")
+
+
+def format_figure16(result: Dict) -> str:
+    table = format_table(result["headers"], result["rows"], digits=3,
+                         title="Figure 16 (peak memory normalised to the dense transformer)")
+    return table + (
+        f"\nDFSS memory reduction range: {result['dfss_memory_reduction_min']:.2f}x ~ "
+        f"{result['dfss_memory_reduction_max']:.2f}x (paper: 1.41x ~ 1.82x)"
+    )

@@ -1,0 +1,56 @@
+"""Figure 5: attention latency breakdown of seven mechanisms, two dtypes, five lengths.
+
+Rows report the per-stage latency (overhead / QKᵀ / softmax / AV) of each
+mechanism normalised to the dense transformer at the same configuration —
+the same series the paper plots.  Latencies come from the analytical A100
+model in :mod:`repro.gpusim`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.experiments.common import resolve_scale
+from repro.gpusim.attention_latency import AttentionConfig, latency_breakdown_table
+from repro.utils.formatting import format_table
+
+MECHANISMS = ("transformer", "dfss", "performer", "reformer", "routing", "sinkhorn", "nystromformer")
+SEQ_LENS = (256, 512, 1024, 2048, 4096)
+DTYPES = ("float32", "bfloat16")
+
+
+def run(scale: Optional[str] = None, seed: int = 0,
+        seq_lens=SEQ_LENS, dtypes=DTYPES, head_dim: int = 64, num_heads: int = 4) -> Dict:
+    scale = resolve_scale(scale)
+    rows: List[List] = []
+    speedups = {}
+    for dtype in dtypes:
+        for n in seq_lens:
+            cfg = AttentionConfig(seq_len=n, head_dim=head_dim, num_heads=num_heads, dtype=dtype)
+            table = latency_breakdown_table(cfg, mechanisms=MECHANISMS)
+            for mech in MECHANISMS:
+                entry = table[mech]
+                rows.append([
+                    dtype, n, mech, entry["overhead"], entry["qk"],
+                    entry["softmax"], entry["av"], entry["total"],
+                ])
+                if mech == "dfss":
+                    speedups[(dtype, n)] = 1.0 / entry["total"]
+    dfss_speedups = list(speedups.values())
+    return {
+        "experiment": "figure5",
+        "scale": scale,
+        "headers": ["dtype", "seq_len", "mechanism", "overhead", "QK^T", "softmax", "AV", "total"],
+        "rows": rows,
+        "dfss_speedup_min": min(dfss_speedups),
+        "dfss_speedup_max": max(dfss_speedups),
+    }
+
+
+def format_result(result: Dict) -> str:
+    table = format_table(result["headers"], result["rows"], digits=3,
+                         title="Figure 5 (latency normalised to the dense transformer)")
+    return table + (
+        f"\nDFSS attention speedup range: {result['dfss_speedup_min']:.2f}x ~ "
+        f"{result['dfss_speedup_max']:.2f}x (paper: 1.27x ~ 1.89x)"
+    )

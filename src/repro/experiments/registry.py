@@ -1,0 +1,80 @@
+"""Registry mapping experiment ids to their run / format functions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.experiments import (
+    appendix_mse,
+    figure5_latency,
+    figure11_speedup_density,
+    figure12_qp,
+    figure13_qp_vs_accuracy,
+    figure14_15_16_end_to_end as e2e,
+    figure19_attention_maps,
+    table1_2_qa,
+    table3_mlm,
+    table4_lra,
+    table5_memory_access,
+    table6_nystrom_dfss,
+)
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproducible table or figure."""
+
+    key: str
+    description: str
+    run: Callable[..., Dict]
+    format_result: Callable[[Dict], str]
+
+
+EXPERIMENTS: Dict[str, Experiment] = {
+    "table1": Experiment("table1", "SQuAD-style F1 without finetuning (subset of table2)",
+                         table1_2_qa.run, table1_2_qa.format_result),
+    "table2": Experiment("table2", "SQuAD-style F1 with and without finetuning",
+                         table1_2_qa.run, table1_2_qa.format_result),
+    "table3": Experiment("table3", "Masked-LM perplexity with and without finetuning",
+                         table3_mlm.run, table3_mlm.format_result),
+    "table4": Experiment("table4", "LRA-style accuracy across attention mechanisms",
+                         table4_lra.run, table4_lra.format_result),
+    "table5": Experiment("table5", "Per-stage memory-access counts (Appendix A.3)",
+                         table5_memory_access.run, table5_memory_access.format_result),
+    "table6": Experiment("table6", "Nystromformer + DFSS combination (Appendix A.7)",
+                         table6_nystrom_dfss.run, table6_nystrom_dfss.format_result),
+    "figure5": Experiment("figure5", "Attention latency breakdown across mechanisms",
+                          figure5_latency.run, figure5_latency.format_result),
+    "figure11": Experiment("figure11", "Speedup vs density: theory and model",
+                           figure11_speedup_density.run, figure11_speedup_density.format_result),
+    "figure12": Experiment("figure12", "Lottery-ticket quality Q_p vs density",
+                           figure12_qp.run, figure12_qp.format_result),
+    "figure13": Experiment("figure13", "Q_p vs accuracy across sparse patterns",
+                           figure13_qp_vs_accuracy.run, figure13_qp_vs_accuracy.format_result),
+    "figure14": Experiment("figure14", "End-to-end speedup grid",
+                           e2e.run_figure14, e2e.format_figure14),
+    "figure15": Experiment("figure15", "End-to-end latency breakdown",
+                           e2e.run_figure15, e2e.format_figure15),
+    "figure16": Experiment("figure16", "Peak memory normalised to dense",
+                           e2e.run_figure16, e2e.format_figure16),
+    "figure19": Experiment("figure19", "Dense vs DFSS attention-map comparison",
+                           figure19_attention_maps.run, figure19_attention_maps.format_result),
+    "appendix_mse": Experiment("appendix_mse", "DFSS vs Performer kernel MSE (Appendix A.5)",
+                               appendix_mse.run, appendix_mse.format_result),
+}
+
+
+def list_experiments() -> List[str]:
+    return sorted(EXPERIMENTS)
+
+
+def get_experiment(key: str) -> Experiment:
+    if key not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {key!r}; available: {list_experiments()}")
+    return EXPERIMENTS[key]
+
+
+def run_experiment(key: str, scale: Optional[str] = None, seed: int = 0, **kwargs) -> Dict:
+    """Run one experiment and return its structured result."""
+    return get_experiment(key).run(scale=scale, seed=seed, **kwargs)

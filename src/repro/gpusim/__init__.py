@@ -1,0 +1,45 @@
+"""Analytical A100-like GPU performance model.
+
+This package substitutes for the paper's hardware testbed: it predicts the
+latency and memory footprint of the attention mechanisms (and of whole
+transformer layers) from per-kernel operator costs, using the same
+memory-traffic accounting the paper uses to derive its speedup bounds
+(Table 5, Propositions 4.3, Eq. 33).
+
+* :mod:`repro.gpusim.device` — the device description (bandwidth, tensor-core
+  throughput, sparse-tensor-core speedup, kernel-launch overhead);
+* :mod:`repro.gpusim.ops` — per-operator cost records;
+* :mod:`repro.gpusim.attention_latency` — per-mechanism attention latency
+  breakdowns (Figure 5);
+* :mod:`repro.gpusim.end_to_end` — transformer-layer latency model
+  (Figures 14, 15);
+* :mod:`repro.gpusim.memory` — peak activation memory model (Figure 16).
+"""
+
+from repro.gpusim.device import AMPERE_A100, GpuDevice
+from repro.gpusim.ops import OpCost
+from repro.gpusim.attention_latency import (
+    ATTENTION_MECHANISMS,
+    AttentionConfig,
+    LatencyBreakdown,
+    attention_latency,
+    attention_speedup,
+)
+from repro.gpusim.end_to_end import LayerConfig, end_to_end_latency, end_to_end_speedup
+from repro.gpusim.memory import attention_peak_memory, end_to_end_peak_memory
+
+__all__ = [
+    "AMPERE_A100",
+    "GpuDevice",
+    "OpCost",
+    "ATTENTION_MECHANISMS",
+    "AttentionConfig",
+    "LatencyBreakdown",
+    "attention_latency",
+    "attention_speedup",
+    "LayerConfig",
+    "end_to_end_latency",
+    "end_to_end_speedup",
+    "attention_peak_memory",
+    "end_to_end_peak_memory",
+]

@@ -1,0 +1,84 @@
+"""GPU device description for the analytical performance model.
+
+The model treats every kernel as the maximum of its compute time and its
+DRAM time plus a fixed launch overhead.  That is the same "memory accesses
+dominate" assumption the paper uses in Appendix A.3 ("the latency of matrix
+multiplication operations, both sparse and dense, are bounded by the memory
+access"), refined with a compute roofline so very compute-dense kernels (the
+dense QKᵀ at large d) are not under-estimated.
+
+The default device is an NVIDIA A100-SXM4-80GB, the GPU used in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class GpuDevice:
+    """Roofline-style description of a GPU.
+
+    Attributes
+    ----------
+    name:
+        Human-readable device name.
+    dram_bandwidth:
+        Sustained DRAM bandwidth in bytes/second.
+    tensor_core_flops:
+        Dense tensor-core throughput in FLOP/s for 16-bit inputs.
+    tf32_flops:
+        Tensor-core throughput for tensorfloat-32 inputs (fp32 tensors).
+    fp32_flops:
+        Conventional CUDA-core fp32 throughput (used for element-wise and
+        reduction kernels such as softmax, top-k, sorting).
+    sparse_tensor_core_speedup:
+        Throughput multiplier of the sparse tensor core over the dense one for
+        2:4 / 1:2 operands (the paper quotes "up to 1.7x" end-to-end for SpMM).
+    kernel_launch_overhead:
+        Fixed per-kernel-launch latency in seconds (driver + scheduling).
+    sort_bandwidth_fraction:
+        Effective fraction of DRAM bandwidth achieved by sorting / top-k /
+        scatter-gather kernels; these are far from streaming-friendly, which
+        is exactly why Top-K-style attention fails to get practical speedup.
+    """
+
+    name: str = "A100-SXM4-80GB"
+    dram_bandwidth: float = 1.555e12
+    tensor_core_flops: float = 312e12
+    tf32_flops: float = 156e12
+    fp32_flops: float = 19.5e12
+    sparse_tensor_core_speedup: float = 1.7
+    kernel_launch_overhead: float = 6.0e-6
+    sort_bandwidth_fraction: float = 0.25
+
+    def matmul_flops(self, dtype: str, sparse: bool = False) -> float:
+        """Tensor-core throughput for a matmul of the given logical dtype."""
+        if dtype in ("bfloat16", "float16"):
+            peak = self.tensor_core_flops
+        elif dtype in ("float32", "tfloat32"):
+            peak = self.tf32_flops
+        else:
+            raise ValueError(f"unsupported dtype {dtype!r}")
+        if sparse:
+            peak *= self.sparse_tensor_core_speedup
+        return peak
+
+    def with_overrides(self, **kwargs) -> "GpuDevice":
+        """Return a copy of the device with some attributes replaced."""
+        return replace(self, **kwargs)
+
+
+#: The device used throughout the paper's evaluation section.
+AMPERE_A100 = GpuDevice()
+
+#: A bandwidth-starved device useful for sensitivity studies (roughly a T4).
+TURING_T4 = GpuDevice(
+    name="T4",
+    dram_bandwidth=0.32e12,
+    tensor_core_flops=65e12,
+    tf32_flops=8.1e12,
+    fp32_flops=8.1e12,
+    sparse_tensor_core_speedup=1.0,  # no sparse tensor core on Turing
+    kernel_launch_overhead=8.0e-6,
+)

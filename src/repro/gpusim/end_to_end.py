@@ -1,0 +1,134 @@
+"""End-to-end transformer-layer latency model (Figures 14 and 15).
+
+The paper's end-to-end evaluation uses the 4-layer encoder of the LRA text
+classification task: per layer a multi-head self-attention block (QKV
+projections, the attention mechanism itself, the output projection) plus a
+feed-forward network and two layer norms.  This module assembles those
+components from the operator costs in :mod:`repro.gpusim.ops`, reusing the
+per-mechanism attention models from
+:mod:`repro.gpusim.attention_latency`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.gpusim import ops
+from repro.gpusim.attention_latency import (
+    ATTENTION_MECHANISMS,
+    AttentionConfig,
+    attention_latency,
+)
+from repro.gpusim.device import AMPERE_A100, GpuDevice
+from repro.gpusim.ops import OpCost
+
+
+@dataclass(frozen=True)
+class LayerConfig:
+    """One transformer encoder layer of the end-to-end model.
+
+    Defaults follow Appendix A.6: head dimension 64, 4 or 8 heads, feed-forward
+    hidden dimension in {256, 512, 1024}, 4 encoder layers, batch size 32.
+    """
+
+    seq_len: int
+    num_heads: int = 4
+    head_dim: int = 64
+    ffn_hidden: int = 256
+    dtype: str = "bfloat16"
+    batch_size: int = 32
+    num_layers: int = 4
+
+    @property
+    def model_dim(self) -> int:
+        return self.num_heads * self.head_dim
+
+    def attention_config(self) -> AttentionConfig:
+        return AttentionConfig(
+            seq_len=self.seq_len,
+            head_dim=self.head_dim,
+            num_heads=self.num_heads,
+            dtype=self.dtype,
+            batch_size=self.batch_size,
+        )
+
+
+def _other_component_kernels(cfg: LayerConfig) -> List[OpCost]:
+    """Everything in a layer that is *not* the attention mechanism itself."""
+    b, n, dm, dff, dt = cfg.batch_size, cfg.seq_len, cfg.model_dim, cfg.ffn_hidden, cfg.dtype
+    return [
+        ops.gemm("q_proj", b, n, dm, dm, dt),
+        ops.gemm("k_proj", b, n, dm, dm, dt),
+        ops.gemm("v_proj", b, n, dm, dm, dt),
+        ops.gemm("out_proj", b, n, dm, dm, dt),
+        ops.gemm("ffn_up", b, n, dff, dm, dt),
+        ops.elementwise("ffn_act", b, float(n * dff), dt, flops_per_elem=8.0),
+        ops.gemm("ffn_down", b, n, dm, dff, dt),
+        ops.elementwise("layernorm_1", b, float(n * dm), dt, flops_per_elem=6.0),
+        ops.elementwise("layernorm_2", b, float(n * dm), dt, flops_per_elem=6.0),
+        ops.elementwise("residual_1", b, float(n * dm), dt, flops_per_elem=1.0),
+        ops.elementwise("residual_2", b, float(n * dm), dt, flops_per_elem=1.0),
+    ]
+
+
+def end_to_end_latency(
+    mechanism: str,
+    cfg: LayerConfig,
+    device: GpuDevice = AMPERE_A100,
+    other_speedup: float = 1.0,
+) -> Dict[str, float]:
+    """Latency of ``cfg.num_layers`` encoder layers with a given attention mechanism.
+
+    Parameters
+    ----------
+    other_speedup:
+        Optional speedup factor applied to the non-attention components
+        (static weight pruning / quantisation of the linear layers, as in the
+        paper's discussion of combining DFSS with 2:4 weight sparsity).
+
+    Returns
+    -------
+    Dict with keys ``attention``, ``others`` and ``total`` (seconds).
+    """
+    if mechanism not in ATTENTION_MECHANISMS:
+        raise ValueError(f"unknown mechanism {mechanism!r}")
+    attn = attention_latency(mechanism, cfg.attention_config(), device).total
+    others = ops.total_latency(_other_component_kernels(cfg), device) / other_speedup
+    per_layer = attn + others
+    return {
+        "attention": attn * cfg.num_layers,
+        "others": others * cfg.num_layers,
+        "total": per_layer * cfg.num_layers,
+    }
+
+
+def end_to_end_speedup(
+    mechanism: str,
+    cfg: LayerConfig,
+    device: GpuDevice = AMPERE_A100,
+    other_speedup: float = 1.0,
+) -> float:
+    """End-to-end speedup of ``mechanism`` over the dense transformer."""
+    dense = end_to_end_latency("transformer", cfg, device, other_speedup=1.0)
+    fast = end_to_end_latency(mechanism, cfg, device, other_speedup=other_speedup)
+    return dense["total"] / fast["total"]
+
+
+def end_to_end_breakdown(
+    cfg: LayerConfig,
+    mechanisms=("transformer", "dfss"),
+    device: GpuDevice = AMPERE_A100,
+) -> Dict[str, Dict[str, float]]:
+    """Attention-vs-others latency split, normalised to the dense model (Figure 15)."""
+    dense = end_to_end_latency("transformer", cfg, device)
+    table: Dict[str, Dict[str, float]] = {}
+    for mech in mechanisms:
+        lat = end_to_end_latency(mech, cfg, device)
+        table[mech] = {
+            "attention": lat["attention"] / dense["total"],
+            "others": lat["others"] / dense["total"],
+            "total": lat["total"] / dense["total"],
+            "speedup": dense["total"] / lat["total"],
+        }
+    return table

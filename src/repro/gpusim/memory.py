@@ -1,0 +1,84 @@
+"""Peak activation-memory model (Figure 16).
+
+The paper measures the peak memory allocation of the 4-layer LRA text
+classification model under each attention mechanism.  The dominant term at
+long sequence length is the attention weight matrix (``n² `` per head for the
+dense transformer, compressed to ``n²/2 + n²/16`` by DFSS); the remaining
+activations (QKV, FFN intermediates, embeddings) are mechanism-independent.
+Only the live working set of one layer is counted (activations of previous
+layers can be freed / recomputed), which is what PyTorch's peak allocation
+roughly tracks during inference.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.precision import dtype_bytes
+from repro.gpusim.end_to_end import LayerConfig
+
+
+def _base_activations_bytes(cfg: LayerConfig) -> float:
+    """Mechanism-independent activations of one layer (QKV, FFN, residuals)."""
+    elem = dtype_bytes(cfg.dtype)
+    b, n, dm, dff = cfg.batch_size, cfg.seq_len, cfg.model_dim, cfg.ffn_hidden
+    qkv = 3 * b * n * dm * elem
+    attn_out = b * n * dm * elem
+    ffn_mid = b * n * dff * elem
+    residuals = 2 * b * n * dm * elem
+    return qkv + attn_out + ffn_mid + residuals
+
+
+def attention_peak_memory(mechanism: str, cfg: LayerConfig) -> float:
+    """Peak bytes attributable to the attention weight structures of one layer."""
+    elem = dtype_bytes(cfg.dtype)
+    b, h, n, d = cfg.batch_size, cfg.num_heads, cfg.seq_len, cfg.head_dim
+    heads = b * h
+    if mechanism == "transformer":
+        return heads * n * n * elem
+    if mechanism == "dfss":
+        return heads * (n * n / 2.0 + n * n / 16.0) * elem
+    if mechanism == "fixed":
+        return heads * n * n / 2.0 * elem
+    if mechanism == "topk":
+        k = max(1, int(0.05 * n))
+        return heads * (n * k * elem + n * k * 4.0)  # values + int32 indices
+    if mechanism == "performer":
+        m = max(1, int(round(d * math.log(d))))
+        return heads * (2 * n * m + m * d) * elem
+    if mechanism == "reformer":
+        chunk, n_hashes = 64, 2
+        chunks = max(1, n // chunk) * n_hashes
+        return heads * (chunks * chunk * 2 * chunk * elem + n * n_hashes * 4.0 * 2)
+    if mechanism == "routing":
+        n_clusters = max(2, int(round(math.sqrt(n))))
+        c = max(1, n // n_clusters)
+        return heads * (n_clusters * c * c * elem + n * 4.0 * 2)
+    if mechanism == "sinkhorn":
+        block = 64
+        n_blocks = max(1, n // block)
+        return heads * (n_blocks * block * 2 * block * elem + n_blocks * n_blocks * elem)
+    if mechanism == "nystromformer":
+        m = min(64, n)
+        return heads * (2 * n * m + m * m + n * d) * elem
+    raise ValueError(f"unknown mechanism {mechanism!r}")
+
+
+def end_to_end_peak_memory(mechanism: str, cfg: LayerConfig) -> float:
+    """Peak activation bytes of the model under ``mechanism`` (one live layer)."""
+    return _base_activations_bytes(cfg) + attention_peak_memory(mechanism, cfg)
+
+
+def memory_reduction(mechanism: str, cfg: LayerConfig) -> float:
+    """Dense-transformer peak memory divided by ``mechanism``'s peak memory."""
+    dense = end_to_end_peak_memory("transformer", cfg)
+    other = end_to_end_peak_memory(mechanism, cfg)
+    return dense / other
+
+
+def memory_table(cfg: LayerConfig, mechanisms=("dfss", "performer", "reformer", "routing", "sinkhorn", "nystromformer")) -> Dict[str, float]:
+    """Peak memory of several mechanisms normalised to the dense transformer (Figure 16)."""
+    dense = end_to_end_peak_memory("transformer", cfg)
+    return {mech: end_to_end_peak_memory(mech, cfg) / dense for mech in mechanisms}

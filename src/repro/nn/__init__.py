@@ -1,0 +1,51 @@
+"""NumPy autograd + transformer stack used by the accuracy experiments.
+
+* :mod:`repro.nn.autograd` — reverse-mode autodiff Tensor;
+* :mod:`repro.nn.functional` — softmax / gelu / layer-norm / cross-entropy;
+* :mod:`repro.nn.layers` — Module, Linear, Embedding, LayerNorm, Dropout;
+* :mod:`repro.nn.attention_layer` — multi-head attention with swappable
+  mechanism (full / DFSS / all Table-4 baselines);
+* :mod:`repro.nn.transformer` — encoder models and task heads;
+* :mod:`repro.nn.optim`, :mod:`repro.nn.trainer` — optimisers and loops.
+"""
+
+from repro.nn.autograd import Tensor, parameter
+from repro.nn.attention_layer import MultiHeadSelfAttention, make_attention_core
+from repro.nn.layers import Dropout, Embedding, LayerNorm, Linear, Module, Sequential
+from repro.nn.optim import SGD, Adam, AdamW, clip_grad_norm
+from repro.nn.trainer import Trainer, evaluate_classification, evaluate_mlm, evaluate_span_qa
+from repro.nn.transformer import (
+    DualSequenceClassifier,
+    MaskedLanguageModel,
+    SequenceClassifier,
+    SpanQAModel,
+    TransformerEncoder,
+    TransformerEncoderLayer,
+)
+
+__all__ = [
+    "Tensor",
+    "parameter",
+    "MultiHeadSelfAttention",
+    "make_attention_core",
+    "Dropout",
+    "Embedding",
+    "LayerNorm",
+    "Linear",
+    "Module",
+    "Sequential",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "clip_grad_norm",
+    "Trainer",
+    "evaluate_classification",
+    "evaluate_mlm",
+    "evaluate_span_qa",
+    "DualSequenceClassifier",
+    "MaskedLanguageModel",
+    "SequenceClassifier",
+    "SpanQAModel",
+    "TransformerEncoder",
+    "TransformerEncoderLayer",
+]

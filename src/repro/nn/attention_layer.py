@@ -1,0 +1,426 @@
+"""Trainable multi-head self-attention with pluggable attention mechanisms.
+
+This is the layer the accuracy experiments swap mechanisms inside: the same
+projection weights can be evaluated (or finetuned) under full attention,
+DFSS 1:2 / 2:4, and every baseline of Table 4.  Mechanisms come in two
+flavours:
+
+* *mask-based* — a boolean mask over the dense score matrix is computed from
+  the (detached) scores or from the sequence structure, and attention is a
+  masked softmax.  DFSS, Top-K, local/strided/Longformer/BigBird, Reformer
+  (LSH buckets), Routing (k-means clusters) and Sinkhorn (block matching)
+  fall in this class.  The mask itself is treated as a constant of the graph,
+  exactly as the paper's kernel does (the N:M selection is not differentiated
+  through).
+* *kernel / low-rank* — the attention output is computed through a different
+  differentiable computation graph: Linformer, Linear Transformer, Performer,
+  Nyströmformer and the DFSS + Nyströmformer combination.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.baselines.fixed import local_window_mask, strided_mask, truncated_mask
+from repro.baselines.longformer import longformer_mask
+from repro.baselines.reformer import ReformerAttention
+from repro.baselines.routing import RoutingTransformerAttention
+from repro.baselines.sinkhorn import SinkhornAttention
+from repro.core.blocked_ell import bigbird_mask
+from repro.core.lottery import topk_mask
+from repro.core.patterns import resolve_pattern
+from repro.core.pruning import nm_prune_mask
+from repro.nn import functional as F
+from repro.nn.autograd import Tensor
+from repro.nn.layers import Dropout, Linear, Module
+from repro.utils.seeding import new_rng
+
+
+# --------------------------------------------------------------------- cores
+class AttentionCore:
+    """Strategy object mapping per-head (q, k, v) Tensors to the attention output."""
+
+    name = "core"
+
+    def __call__(self, q: Tensor, k: Tensor, v: Tensor) -> Tensor:
+        raise NotImplementedError
+
+    # mask-based cores also expose their mask for analysis
+    def last_mask(self) -> Optional[np.ndarray]:
+        return getattr(self, "_last_mask", None)
+
+
+class FullCore(AttentionCore):
+    name = "full"
+
+    def __call__(self, q: Tensor, k: Tensor, v: Tensor) -> Tensor:
+        d = q.shape[-1]
+        scores = (q @ k.swapaxes(-1, -2)) * (1.0 / np.sqrt(d))
+        weights = F.softmax(scores, axis=-1)
+        return weights @ v
+
+
+class MaskedScoreCore(AttentionCore):
+    """Shared implementation for all mask-based mechanisms."""
+
+    def _mask(self, scores: np.ndarray, q: np.ndarray, k: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, q: Tensor, k: Tensor, v: Tensor) -> Tensor:
+        d = q.shape[-1]
+        scores = (q @ k.swapaxes(-1, -2)) * (1.0 / np.sqrt(d))
+        mask = self._mask(scores.data, q.data, k.data)
+        self._last_mask = mask
+        weights = F.masked_softmax(scores, mask, axis=-1)
+        return weights @ v
+
+
+class DfssCore(MaskedScoreCore):
+    """Dynamic N:M pruning of the score matrix (the paper's mechanism)."""
+
+    name = "dfss"
+
+    def __init__(self, pattern="2:4"):
+        self.pattern = resolve_pattern(pattern)
+
+    def _mask(self, scores, q, k):
+        return nm_prune_mask(scores, self.pattern)
+
+
+class TopKCore(MaskedScoreCore):
+    name = "topk"
+
+    def __init__(self, density: float = 0.05):
+        self.density = density
+
+    def _mask(self, scores, q, k):
+        return topk_mask(scores, self.density)
+
+
+class StaticMaskCore(MaskedScoreCore):
+    """Mechanisms whose mask only depends on the sequence length."""
+
+    def __init__(self, mask_fn: Callable[[int, int], np.ndarray], name: str):
+        self._mask_fn = mask_fn
+        self.name = name
+        self._cache: Dict[int, np.ndarray] = {}
+
+    def _mask(self, scores, q, k):
+        n_q, n_k = scores.shape[-2], scores.shape[-1]
+        key = (n_q, n_k)
+        if key not in self._cache:
+            self._cache[key] = self._mask_fn(n_q, n_k)
+        return np.broadcast_to(self._cache[key], scores.shape)
+
+
+class ClusteringMaskCore(MaskedScoreCore):
+    """Reformer / Routing / Sinkhorn masks derived from the (detached) Q and K."""
+
+    def __init__(self, mechanism, name: str):
+        self.mechanism = mechanism
+        self.name = name
+
+    def _mask(self, scores, q, k):
+        return self.mechanism.attention_mask(q, k)
+
+
+class LinformerCore(AttentionCore):
+    """Low-rank projection of keys/values with a fixed random projection."""
+
+    name = "linformer"
+
+    def __init__(self, proj_dim: int = 64, seed=0):
+        self.proj_dim = proj_dim
+        self.seed = seed
+        self._proj: Dict[int, np.ndarray] = {}
+
+    def _projection(self, n: int) -> np.ndarray:
+        if n not in self._proj:
+            rng = new_rng(self.seed)
+            kdim = min(self.proj_dim, n)
+            self._proj[n] = rng.normal(0.0, 1.0 / np.sqrt(kdim), size=(kdim, n)).astype(
+                np.float32
+            )
+        return self._proj[n]
+
+    def __call__(self, q: Tensor, k: Tensor, v: Tensor) -> Tensor:
+        n = k.shape[-2]
+        d = q.shape[-1]
+        e = Tensor(self._projection(n))
+        k_proj = e @ k
+        v_proj = e @ v
+        scores = (q @ k_proj.swapaxes(-1, -2)) * (1.0 / np.sqrt(d))
+        weights = F.softmax(scores, axis=-1)
+        return weights @ v_proj
+
+
+class LinearTransformerCore(AttentionCore):
+    """Kernelised linear attention with the elu+1 feature map."""
+
+    name = "linear_transformer"
+
+    @staticmethod
+    def _feature(x: Tensor) -> Tensor:
+        # elu(x) + 1 expressed with differentiable primitives:
+        # relu(x) + exp(x - relu(x))  ==  x + 1 for x > 0,  exp(x) for x <= 0
+        return x.relu() + (x - x.relu()).exp()
+
+    def __call__(self, q: Tensor, k: Tensor, v: Tensor) -> Tensor:
+        phi_q = self._feature(q)
+        phi_k = self._feature(k)
+        kv = phi_k.swapaxes(-1, -2) @ v
+        out = phi_q @ kv
+        normaliser = phi_q @ phi_k.sum(axis=-2, keepdims=True).swapaxes(-1, -2)
+        return out / (normaliser + 1e-6)
+
+
+class PerformerCore(AttentionCore):
+    """FAVOR+ positive random features (features fixed, not trained)."""
+
+    name = "performer"
+
+    def __init__(self, num_features: Optional[int] = None, seed=0):
+        self.num_features = num_features
+        self.seed = seed
+        self._w: Dict[int, np.ndarray] = {}
+
+    def _features(self, d: int) -> np.ndarray:
+        if d not in self._w:
+            from repro.baselines.performer import orthogonal_random_features
+
+            m = self.num_features or max(1, int(round(d * np.log(max(d, 2)))))
+            self._w[d] = orthogonal_random_features(m, d, new_rng(self.seed))
+        return self._w[d]
+
+    def _phi(self, x: Tensor, w: np.ndarray, per_row: bool) -> Tensor:
+        d = x.shape[-1]
+        m = w.shape[0]
+        proj = x @ Tensor(w.T / d**0.25)
+        sq = (x * x).sum(axis=-1, keepdims=True) * (1.0 / (2.0 * np.sqrt(d)))
+        shifted = proj - sq
+        if per_row:
+            stab = shifted.max(axis=-1, keepdims=True).detach()
+        else:
+            stab = Tensor(np.max(shifted.data, axis=(-1, -2), keepdims=True))
+        return (shifted - stab).exp() * (1.0 / np.sqrt(m)) + 1e-6
+
+    def __call__(self, q: Tensor, k: Tensor, v: Tensor) -> Tensor:
+        w = self._features(q.shape[-1])
+        phi_q = self._phi(q, w, per_row=True)
+        phi_k = self._phi(k, w, per_row=False)
+        kv = phi_k.swapaxes(-1, -2) @ v
+        out = phi_q @ kv
+        normaliser = phi_q @ phi_k.sum(axis=-2, keepdims=True).swapaxes(-1, -2)
+        return out / (normaliser + 1e-6)
+
+
+class NystromformerCore(AttentionCore):
+    """Differentiable Nyström attention with segment-mean landmarks."""
+
+    name = "nystromformer"
+
+    def __init__(self, num_landmarks: int = 32, pinv_iters: int = 6, dfss_pattern=None):
+        self.num_landmarks = num_landmarks
+        self.pinv_iters = pinv_iters
+        self.dfss_pattern = resolve_pattern(dfss_pattern) if dfss_pattern else None
+
+    def _landmarks(self, x: Tensor) -> Tensor:
+        n = x.shape[-2]
+        m = min(self.num_landmarks, n)
+        if n % m != 0:
+            # truncate the tail so segments are equal; acceptable for landmarks
+            n_trunc = (n // m) * m
+            x = x[..., :n_trunc, :]
+            n = n_trunc
+        seg = x.reshape(x.shape[:-2] + (m, n // m, x.shape[-1]))
+        return seg.mean(axis=-2)
+
+    def _pinv(self, a: Tensor) -> Tensor:
+        at = a.swapaxes(-1, -2)
+        scale = float(
+            np.max(np.sum(np.abs(a.data), axis=-2)) * np.max(np.sum(np.abs(a.data), axis=-1))
+        )
+        z = at * (1.0 / max(scale, 1e-8))
+        eye = Tensor(np.eye(a.shape[-1], dtype=np.float32))
+        for _ in range(self.pinv_iters):
+            az = a @ z
+            z = (z @ (eye * 13.0 - az @ (eye * 15.0 - az @ (eye * 7.0 - az)))) * 0.25
+        return z
+
+    def _softmax_kernel(self, a: Tensor, b: Tensor, scale: float, prune: bool) -> Tensor:
+        scores = (a @ b.swapaxes(-1, -2)) * scale
+        if prune and self.dfss_pattern is not None:
+            mask = nm_prune_mask(scores.data, self.dfss_pattern)
+            return F.masked_softmax(scores, mask, axis=-1)
+        return F.softmax(scores, axis=-1)
+
+    def __call__(self, q: Tensor, k: Tensor, v: Tensor) -> Tensor:
+        d = q.shape[-1]
+        scale = 1.0 / np.sqrt(d)
+        q_land = self._landmarks(q)
+        k_land = self._landmarks(k)
+        kernel1 = self._softmax_kernel(q, k_land, scale, prune=True)   # n x m
+        kernel2 = self._softmax_kernel(q_land, k_land, scale, prune=False)  # m x m
+        kernel3 = self._softmax_kernel(q_land, k, scale, prune=True)   # m x n
+        pinv = self._pinv(kernel2)
+        return (kernel1 @ pinv) @ (kernel3 @ v)
+
+
+class SynthesizerCore(AttentionCore):
+    """Random Synthesizer: a trainable content-independent attention matrix."""
+
+    name = "synthesizer"
+
+    def __init__(self, max_len: int = 512, seed=0):
+        from repro.nn.autograd import parameter
+
+        rng = new_rng(seed)
+        self.max_len = max_len
+        self.weight = parameter(rng.normal(0.0, 0.02, size=(max_len, max_len)), name="synth")
+
+    def __call__(self, q: Tensor, k: Tensor, v: Tensor) -> Tensor:
+        n = q.shape[-2]
+        if n > self.max_len:
+            raise ValueError(f"sequence length {n} exceeds synthesizer table {self.max_len}")
+        weights = F.softmax(self.weight[:n, :n], axis=-1)
+        return weights @ v
+
+
+# ----------------------------------------------------------------- factory
+def make_attention_core(mechanism: str, seq_len_hint: int = 512, **kwargs) -> AttentionCore:
+    """Build an :class:`AttentionCore` by mechanism name.
+
+    ``mechanism`` accepts the Table-4 names plus ``dfss_1:2`` / ``dfss_2:4``
+    shortcuts; extra keyword arguments are forwarded to the core.
+    """
+    mech = mechanism.lower()
+    if mech in ("full", "transformer", "dense"):
+        return FullCore()
+    if mech.startswith("dfss"):
+        pattern = kwargs.pop("pattern", None)
+        if pattern is None:
+            pattern = mech.split("_", 1)[1] if "_" in mech else "2:4"
+        return DfssCore(pattern=pattern)
+    if mech == "topk":
+        return TopKCore(**kwargs)
+    if mech == "local":
+        window = kwargs.pop("window", 32)
+        return StaticMaskCore(lambda nq, nk: local_window_mask(nq, nk, window), "local")
+    if mech == "sparse_transformer":
+        window = kwargs.pop("window", 16)
+        stride = kwargs.pop("stride", 64)
+        return StaticMaskCore(
+            lambda nq, nk: strided_mask(nq, nk, window, stride), "sparse_transformer"
+        )
+    if mech == "fixed_truncated":
+        density = kwargs.pop("density", 0.5)
+        return StaticMaskCore(
+            lambda nq, nk: truncated_mask(nq, nk, density), "fixed_truncated"
+        )
+    if mech == "longformer":
+        window = kwargs.pop("window", 32)
+        num_global = kwargs.pop("num_global", 1)
+        return StaticMaskCore(
+            lambda nq, nk: longformer_mask(nq, nk, window, num_global), "longformer"
+        )
+    if mech == "bigbird":
+        block = kwargs.pop("block_size", 64)
+        seed = kwargs.pop("seed", 0)
+
+        def _bb(nq, nk):
+            bs = block
+            while nq % bs != 0 and bs > 1:
+                bs //= 2
+            return bigbird_mask(nq, bs, seed=seed).dense_mask(nq, nk)
+
+        return StaticMaskCore(_bb, "bigbird")
+    if mech == "reformer":
+        return ClusteringMaskCore(ReformerAttention(**kwargs), "reformer")
+    if mech == "routing":
+        return ClusteringMaskCore(RoutingTransformerAttention(**kwargs), "routing")
+    if mech == "sinkhorn":
+        return ClusteringMaskCore(SinkhornAttention(**kwargs), "sinkhorn")
+    if mech == "linformer":
+        return LinformerCore(**kwargs)
+    if mech == "linear_transformer":
+        return LinearTransformerCore()
+    if mech == "performer":
+        return PerformerCore(**kwargs)
+    if mech == "nystromformer":
+        return NystromformerCore(**kwargs)
+    if mech in ("nystromformer_dfss", "nystrom_dfss"):
+        kwargs.setdefault("dfss_pattern", "2:4")
+        return NystromformerCore(**kwargs)
+    if mech == "synthesizer":
+        kwargs.setdefault("max_len", seq_len_hint)
+        return SynthesizerCore(**kwargs)
+    raise ValueError(f"unknown attention mechanism {mechanism!r}")
+
+
+# ------------------------------------------------------------- the nn layer
+class MultiHeadSelfAttention(Module):
+    """Multi-head self-attention with a swappable attention core.
+
+    The core can be replaced after construction (and after training) with
+    :meth:`set_mechanism`, which is how the "replace full attention by DFSS
+    without finetuning" experiments are run.
+    """
+
+    def __init__(
+        self,
+        model_dim: int,
+        num_heads: int,
+        mechanism: str = "full",
+        dropout: float = 0.0,
+        seed=0,
+        max_len: int = 512,
+        **mechanism_kwargs,
+    ):
+        super().__init__()
+        if model_dim % num_heads != 0:
+            raise ValueError("model_dim must be divisible by num_heads")
+        self.model_dim = model_dim
+        self.num_heads = num_heads
+        self.head_dim = model_dim // num_heads
+        self.max_len = max_len
+        rng = new_rng(seed)
+        self.q_proj = Linear(model_dim, model_dim, seed=rng.integers(1 << 31))
+        self.k_proj = Linear(model_dim, model_dim, seed=rng.integers(1 << 31))
+        self.v_proj = Linear(model_dim, model_dim, seed=rng.integers(1 << 31))
+        self.out_proj = Linear(model_dim, model_dim, seed=rng.integers(1 << 31))
+        self.attn_dropout = Dropout(dropout, seed=rng.integers(1 << 31))
+        self.core = make_attention_core(mechanism, seq_len_hint=max_len, **mechanism_kwargs)
+        self.mechanism = mechanism
+        self._register_core_parameters()
+
+    def _register_core_parameters(self) -> None:
+        """Expose trainable tensors owned by the core (e.g. the Synthesizer matrix)."""
+        self._parameters.pop("core_weight", None)
+        core_weight = getattr(self.core, "weight", None)
+        if isinstance(core_weight, Tensor) and core_weight.requires_grad:
+            self._parameters["core_weight"] = core_weight
+
+    def set_mechanism(self, mechanism: str, **mechanism_kwargs) -> None:
+        """Swap the attention mechanism in place (weights are untouched)."""
+        self.core = make_attention_core(
+            mechanism, seq_len_hint=self.max_len, **mechanism_kwargs
+        )
+        self.mechanism = mechanism
+        self._register_core_parameters()
+
+    def _split_heads(self, x: Tensor, batch: int, seq: int) -> Tensor:
+        return x.reshape(batch, seq, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def _merge_heads(self, x: Tensor, batch: int, seq: int) -> Tensor:
+        return x.transpose(0, 2, 1, 3).reshape(batch, seq, self.model_dim)
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch, seq, _ = x.shape
+        q = self._split_heads(self.q_proj(x), batch, seq)
+        k = self._split_heads(self.k_proj(x), batch, seq)
+        v = self._split_heads(self.v_proj(x), batch, seq)
+        out = self.core(q, k, v)
+        out = self._merge_heads(out, batch, seq)
+        return self.attn_dropout(self.out_proj(out))

@@ -1,0 +1,101 @@
+"""Differentiable functional building blocks on top of the autograd Tensor."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.autograd import Tensor
+
+#: Large negative number used to mask logits (kept finite for fp32 stability).
+NEG_INF = -1e9
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def masked_softmax(x: Tensor, mask: np.ndarray, axis: int = -1) -> Tensor:
+    """Softmax that assigns zero probability where ``mask`` is False.
+
+    ``mask`` is a plain boolean ndarray (it is data-dependent but treated as a
+    constant of the graph, exactly like the DFSS pruning decision which is not
+    differentiated through).
+    """
+    mask = np.asarray(mask, dtype=bool)
+    filled = x.masked_fill(~mask, NEG_INF)
+    return softmax(filled, axis=axis)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def relu(x: Tensor) -> Tensor:
+    return x.relu()
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Gaussian error linear unit (erf form, as in BERT)."""
+    return x * ((x * float(1.0 / np.sqrt(2.0))).erf() + 1.0) * 0.5
+
+
+def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Tensor:
+    """Layer normalisation over the last axis."""
+    mean = x.mean(axis=-1, keepdims=True)
+    centred = x - mean
+    var = (centred * centred).mean(axis=-1, keepdims=True)
+    normed = centred / (var + eps).sqrt()
+    return normed * weight + bias
+
+
+def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool = True) -> Tensor:
+    """Inverted dropout; identity when not training or ``p == 0``."""
+    if not training or p <= 0.0:
+        return x
+    if p >= 1.0:
+        raise ValueError("dropout probability must be < 1")
+    keep = (rng.random(x.shape) >= p).astype(np.float32) / (1.0 - p)
+    return x * keep
+
+
+def embedding(weight: Tensor, ids: np.ndarray) -> Tensor:
+    """Row lookup ``weight[ids]`` with scatter-add gradient."""
+    ids = np.asarray(ids)
+    if not np.issubdtype(ids.dtype, np.integer):
+        raise TypeError("embedding ids must be integers")
+    return weight[ids]
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray, ignore_index: Optional[int] = None) -> Tensor:
+    """Mean cross-entropy between ``logits`` (..., C) and integer ``targets`` (...)."""
+    targets = np.asarray(targets)
+    log_probs = log_softmax(logits, axis=-1)
+    flat_logp = log_probs.reshape(-1, logits.shape[-1])
+    flat_targets = targets.reshape(-1)
+    if ignore_index is not None:
+        valid = flat_targets != ignore_index
+        safe_targets = np.where(valid, flat_targets, 0)
+    else:
+        valid = np.ones_like(flat_targets, dtype=bool)
+        safe_targets = flat_targets
+    picked = flat_logp[np.arange(flat_targets.shape[0]), safe_targets]
+    weights = valid.astype(np.float32) / max(1, int(valid.sum()))
+    return -(picked * weights).sum()
+
+
+def accuracy(logits: np.ndarray, targets: np.ndarray) -> float:
+    """Classification accuracy of argmax predictions (plain ndarray helper)."""
+    preds = np.argmax(np.asarray(logits), axis=-1)
+    targets = np.asarray(targets)
+    return float((preds == targets).mean()) if targets.size else 0.0
+
+
+def perplexity_from_loss(nll: float) -> float:
+    """Perplexity ``exp(nll)`` with overflow protection."""
+    return float(np.exp(min(nll, 30.0)))

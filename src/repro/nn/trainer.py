@@ -1,0 +1,192 @@
+"""Training / finetuning / evaluation loops and task metrics.
+
+The accuracy experiments all follow the same recipe:
+
+1. train a model from scratch (or reuse a "pretrained" checkpoint) under one
+   attention mechanism;
+2. optionally swap the mechanism (``encoder.set_mechanism``) — the "w/o
+   finetune" rows of Tables 1-3;
+3. optionally finetune for a small number of steps — the "w/ finetune" rows;
+4. evaluate: classification accuracy, span-F1 for QA, perplexity for MLM.
+
+Everything is deterministic under a seed, and the paper's practice of
+averaging over several seeds is supported by :func:`run_seeded_trials`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.autograd import Tensor
+from repro.nn.functional import perplexity_from_loss
+from repro.nn.layers import Module
+from repro.nn.optim import Adam, clip_grad_norm
+from repro.utils.seeding import SeedLike, new_rng
+
+
+# ------------------------------------------------------------------ batching
+def iterate_minibatches(
+    inputs: np.ndarray,
+    targets: np.ndarray,
+    batch_size: int,
+    rng: Optional[np.random.Generator] = None,
+) -> Iterable[Tuple[np.ndarray, np.ndarray]]:
+    """Yield (inputs, targets) minibatches, shuffled when an RNG is given."""
+    n = len(inputs)
+    order = np.arange(n)
+    if rng is not None:
+        rng.shuffle(order)
+    for start in range(0, n, batch_size):
+        idx = order[start : start + batch_size]
+        yield inputs[idx], targets[idx]
+
+
+# ------------------------------------------------------------------- metrics
+def span_f1(pred_spans: np.ndarray, true_spans: np.ndarray) -> float:
+    """Mean token-level F1 between predicted and gold answer spans (SQuAD style)."""
+    pred_spans = np.asarray(pred_spans)
+    true_spans = np.asarray(true_spans)
+    scores = []
+    for (ps, pe), (ts, te) in zip(pred_spans, true_spans):
+        pred_tokens = set(range(int(ps), int(pe) + 1))
+        true_tokens = set(range(int(ts), int(te) + 1))
+        overlap = len(pred_tokens & true_tokens)
+        if overlap == 0:
+            scores.append(0.0)
+            continue
+        precision = overlap / len(pred_tokens)
+        recall = overlap / len(true_tokens)
+        scores.append(2 * precision * recall / (precision + recall))
+    return float(np.mean(scores)) if scores else 0.0
+
+
+def exact_match(pred_spans: np.ndarray, true_spans: np.ndarray) -> float:
+    """Fraction of exactly matching spans."""
+    pred_spans = np.asarray(pred_spans)
+    true_spans = np.asarray(true_spans)
+    return float(np.mean(np.all(pred_spans == true_spans, axis=-1))) if len(pred_spans) else 0.0
+
+
+# ------------------------------------------------------------------- trainer
+@dataclass
+class TrainingResult:
+    """History and final metrics of one training run."""
+
+    losses: List[float] = field(default_factory=list)
+    metrics: Dict[str, float] = field(default_factory=dict)
+    steps: int = 0
+
+
+class Trainer:
+    """Minimal gradient-descent training loop around a task model.
+
+    The model must expose ``loss(inputs, targets) -> Tensor``; metric
+    evaluation is task specific and passed as a callable.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        lr: float = 1e-3,
+        batch_size: int = 16,
+        max_grad_norm: float = 1.0,
+        weight_decay: float = 0.0,
+        seed: SeedLike = 0,
+    ):
+        self.model = model
+        self.batch_size = batch_size
+        self.max_grad_norm = max_grad_norm
+        self.rng = new_rng(seed)
+        self.optimizer = Adam(model.parameters(), lr=lr, weight_decay=weight_decay)
+
+    def train_steps(
+        self,
+        inputs: np.ndarray,
+        targets: np.ndarray,
+        max_steps: int,
+        log_every: int = 0,
+    ) -> TrainingResult:
+        """Run up to ``max_steps`` optimisation steps over shuffled minibatches."""
+        result = TrainingResult()
+        self.model.train()
+        steps = 0
+        while steps < max_steps:
+            for xb, yb in iterate_minibatches(inputs, targets, self.batch_size, self.rng):
+                if steps >= max_steps:
+                    break
+                loss = self.model.loss(xb, yb)
+                self.optimizer.zero_grad()
+                loss.backward()
+                clip_grad_norm(self.model.parameters(), self.max_grad_norm)
+                self.optimizer.step()
+                result.losses.append(float(loss.item()))
+                steps += 1
+                if log_every and steps % log_every == 0:  # pragma: no cover - logging
+                    print(f"step {steps}: loss {result.losses[-1]:.4f}")
+        result.steps = steps
+        self.model.eval()
+        return result
+
+    def train_epochs(
+        self, inputs: np.ndarray, targets: np.ndarray, epochs: int
+    ) -> TrainingResult:
+        steps_per_epoch = int(np.ceil(len(inputs) / self.batch_size))
+        return self.train_steps(inputs, targets, epochs * steps_per_epoch)
+
+
+# --------------------------------------------------------------- evaluation
+def evaluate_classification(model, inputs: np.ndarray, labels: np.ndarray,
+                            batch_size: int = 32) -> float:
+    """Accuracy of a model exposing ``predict``."""
+    model.eval()
+    correct = 0
+    for start in range(0, len(inputs), batch_size):
+        preds = model.predict(inputs[start : start + batch_size])
+        correct += int((preds == labels[start : start + batch_size]).sum())
+    return correct / max(1, len(labels))
+
+
+def evaluate_span_qa(model, inputs: np.ndarray, spans: np.ndarray,
+                     batch_size: int = 32) -> Dict[str, float]:
+    """F1 / exact-match of a span-QA model."""
+    model.eval()
+    all_preds = []
+    for start in range(0, len(inputs), batch_size):
+        all_preds.append(model.predict(inputs[start : start + batch_size]))
+    preds = np.concatenate(all_preds, axis=0)
+    return {"f1": span_f1(preds, spans), "exact_match": exact_match(preds, spans)}
+
+
+def evaluate_mlm(model, inputs: np.ndarray, targets: np.ndarray,
+                 batch_size: int = 16, ignore_index: int = -100) -> Dict[str, float]:
+    """Masked-LM loss and perplexity over the masked positions."""
+    model.eval()
+    losses, weights = [], []
+    for start in range(0, len(inputs), batch_size):
+        xb = inputs[start : start + batch_size]
+        yb = targets[start : start + batch_size]
+        loss = model.loss(xb, yb, ignore_index=ignore_index)
+        n_masked = int((yb != ignore_index).sum())
+        if n_masked:
+            losses.append(float(loss.item()))
+            weights.append(n_masked)
+    if not losses:
+        return {"loss": 0.0, "perplexity": 1.0}
+    mean_loss = float(np.average(losses, weights=weights))
+    return {"loss": mean_loss, "perplexity": perplexity_from_loss(mean_loss)}
+
+
+def run_seeded_trials(run_fn: Callable[[int], float], seeds: Sequence[int]) -> Dict[str, float]:
+    """Run an experiment for several seeds and report mean / std / 95% CI.
+
+    Mirrors the paper's reporting convention ("averaged over 8 runs under
+    different random seeds", confidence level 95%).
+    """
+    values = np.array([run_fn(int(s)) for s in seeds], dtype=np.float64)
+    mean = float(values.mean())
+    std = float(values.std(ddof=1)) if len(values) > 1 else 0.0
+    ci95 = 1.96 * std / np.sqrt(len(values)) if len(values) > 1 else 0.0
+    return {"mean": mean, "std": std, "ci95": float(ci95), "n": len(values)}

@@ -1,0 +1,15 @@
+"""Shared utilities: deterministic seeding, shape handling, table formatting."""
+
+from repro.utils.seeding import new_rng, set_global_seed
+from repro.utils.shapes import as_batched_3d, restore_batch_shape, check_matmul_shapes
+from repro.utils.formatting import format_table, format_float
+
+__all__ = [
+    "new_rng",
+    "set_global_seed",
+    "as_batched_3d",
+    "restore_batch_shape",
+    "check_matmul_shapes",
+    "format_table",
+    "format_float",
+]

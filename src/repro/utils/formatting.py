@@ -1,0 +1,61 @@
+"""Plain-text table formatting for experiment and benchmark output.
+
+The experiment harness prints the same rows/series the paper reports; these
+helpers keep that output aligned and dependency-free (no tabulate/pandas).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_float(value, digits: int = 3) -> str:
+    """Format a float with ``digits`` decimals; pass strings through unchanged."""
+    if isinstance(value, str):
+        return value
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    return f"{value:.{digits}f}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    digits: int = 3,
+    title: str = "",
+) -> str:
+    """Render ``rows`` as an aligned monospace table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Iterable of row sequences; floats are rounded to ``digits`` decimals.
+    title:
+        Optional title printed above the table.
+    """
+    str_rows: List[List[str]] = [[format_float(v, digits) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(c.ljust(widths[i]) for i, c in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(headers))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)

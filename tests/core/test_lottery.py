@@ -1,0 +1,141 @@
+"""Tests for the attention-lottery-ticket quality metric Q_p (Prop. 4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.lottery import (
+    fixed_mask,
+    frobenius_retention,
+    nm_mask,
+    qp_1_2_theory,
+    qp_2_4_lower_bound,
+    qp_empirical,
+    qp_empirical_from_scores,
+    qp_fixed_theory,
+    qp_nm_monte_carlo,
+    qp_topk_theory,
+    topk_crossover_pstd,
+    topk_mask,
+)
+from repro.core.patterns import PATTERN_1_2, PATTERN_2_4
+
+
+class TestTheory:
+    def test_qp_fixed_equals_density(self):
+        assert qp_fixed_theory(0.3) == 0.3
+        assert qp_fixed_theory(1.0) == 1.0
+
+    def test_qp_topk_upper_bounds_others(self):
+        # Top-K is the oracle at a given density
+        for p in (1.0, 2.0, 3.0):
+            assert qp_topk_theory(0.5, p) >= qp_1_2_theory(p) - 1e-9
+            assert qp_topk_theory(0.5, p) >= qp_fixed_theory(0.5)
+
+    def test_qp_1_2_exceeds_fixed_at_half_density(self):
+        # Prop 4.2: Q_p(1:2) > Q_p(fix)|s=0.5 = 0.5 for p*sigma > 0
+        for p in (0.5, 1.0, 2.0, 5.0):
+            assert qp_1_2_theory(p) > 0.5
+
+    def test_qp_1_2_value_p1(self):
+        # (1 + erf(0.5)) / 2 ≈ 0.7602
+        assert qp_1_2_theory(1.0) == pytest.approx(0.76025, abs=1e-4)
+
+    def test_qp_1_2_monotone_in_p(self):
+        values = [qp_1_2_theory(p) for p in (0.5, 1, 2, 4, 8)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_qp_1_2_saturates_near_one(self):
+        # paper: Q_p(1:2) at p*sigma = 7 ≈ 0.9999996
+        assert qp_1_2_theory(7.0) == pytest.approx(1.0, abs=1e-5)
+
+    def test_qp_topk_limits(self):
+        assert qp_topk_theory(1.0, 1.0) == 1.0
+        assert qp_topk_theory(1e-6, 1.0) < 0.01
+
+    def test_qp_topk_invalid_density(self):
+        with pytest.raises(ValueError):
+            qp_topk_theory(0.0, 1.0)
+        with pytest.raises(ValueError):
+            qp_topk_theory(1.5, 1.0)
+
+    def test_2_4_lower_bound_equals_1_2(self):
+        assert qp_2_4_lower_bound(2.0) == qp_1_2_theory(2.0)
+
+    def test_topk_crossover_near_seven(self):
+        # paper: at the efficiency-matched density (~0.02) the crossover is p*sigma ≈ 7
+        cross = topk_crossover_pstd(0.02)
+        assert 6.0 < cross < 8.5
+
+
+class TestMonteCarlo:
+    def test_1_2_matches_theory(self):
+        for p in (1.0, 2.0):
+            mc = qp_nm_monte_carlo("1:2", p, rows=512, cols=1024, seed=0)
+            assert mc == pytest.approx(qp_1_2_theory(p), abs=0.02)
+
+    def test_2_4_at_least_1_2(self):
+        for p in (1.0, 2.0):
+            mc24 = qp_nm_monte_carlo("2:4", p, rows=512, cols=1024, seed=1)
+            assert mc24 >= qp_1_2_theory(p) - 0.01
+
+
+class TestEmpirical:
+    def _attention(self, n=128, seed=0, sigma=1.0):
+        rng = np.random.default_rng(seed)
+        scores = rng.normal(0.0, sigma, size=(n, n)).astype(np.float64)
+        w = np.exp(scores - scores.max(-1, keepdims=True))
+        return scores, w / w.sum(-1, keepdims=True)
+
+    def test_full_mask_gives_one(self):
+        _, a = self._attention()
+        assert qp_empirical(a, np.ones_like(a, dtype=bool), 2.0) == pytest.approx(1.0)
+
+    def test_empty_denominator_handled(self):
+        a = np.zeros((2, 4))
+        assert np.isfinite(qp_empirical(a, np.ones_like(a, dtype=bool), 2.0))
+
+    def test_ordering_topk_nm_fixed(self):
+        scores, a = self._attention(n=256, seed=2)
+        p = 2.0
+        q_topk = qp_empirical(a, topk_mask(scores, 0.5), p)
+        q_nm = qp_empirical(a, nm_mask(scores, PATTERN_1_2), p)
+        q_fix = qp_empirical(a, fixed_mask(a.shape, 0.5), p)
+        assert q_topk >= q_nm >= q_fix
+
+    def test_empirical_matches_theory_for_gaussian_scores(self):
+        scores, a = self._attention(n=512, seed=3)
+        got = qp_empirical(a, nm_mask(scores, PATTERN_1_2), 1.0)
+        assert got == pytest.approx(qp_1_2_theory(1.0), abs=0.03)
+
+    def test_from_scores_equals_from_weights(self):
+        scores, a = self._attention(n=64, seed=4)
+        mask = nm_mask(scores, PATTERN_2_4)
+        assert qp_empirical_from_scores(scores, mask, 2.0) == pytest.approx(
+            qp_empirical(a, mask, 2.0), abs=1e-9
+        )
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            qp_empirical(np.ones((4, 4)), np.ones((4, 5), dtype=bool), 1.0)
+
+
+class TestMasks:
+    def test_topk_mask_density(self):
+        rng = np.random.default_rng(0)
+        scores = rng.normal(size=(32, 100))
+        mask = topk_mask(scores, 0.1)
+        np.testing.assert_array_equal(mask.sum(-1), 10)
+
+    def test_fixed_mask_kinds(self):
+        trunc = fixed_mask((4, 100), 0.25, kind="truncate")
+        assert trunc[:, :25].all() and not trunc[:, 25:].any()
+        strided = fixed_mask((4, 100), 0.25, kind="strided")
+        assert strided[:, ::4].all()
+        with pytest.raises(ValueError):
+            fixed_mask((4, 100), 0.25, kind="banded")
+
+    def test_frobenius_retention_bounds(self):
+        rng = np.random.default_rng(1)
+        a = np.abs(rng.normal(size=(16, 16)))
+        assert frobenius_retention(a, np.ones_like(a, dtype=bool)) == 0.0
+        assert frobenius_retention(a, np.zeros_like(a, dtype=bool)) == pytest.approx(1.0)

@@ -1,0 +1,168 @@
+"""Tests for the sparse-tensor-core metadata encoding (Figure 6)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import metadata as meta
+from repro.core.patterns import PATTERN_1_2, PATTERN_2_4, NMPattern
+
+
+class TestNibbleEncoding:
+    def test_all_2_4_pairs_match_figure6b(self):
+        # Figure 6(b) enumerates the legal nibbles
+        expected = {
+            (0, 1): 0x4,
+            (0, 2): 0x8,
+            (0, 3): 0xC,
+            (1, 2): 0x9,
+            (1, 3): 0xD,
+            (2, 3): 0xE,
+        }
+        for pair, nibble in expected.items():
+            got = meta.encode_group_nibbles(np.array([[pair]]), PATTERN_2_4)
+            assert got[0, 0] == nibble
+
+    def test_1_2_nibbles(self):
+        got0 = meta.encode_group_nibbles(np.array([[[0]]]), PATTERN_1_2)
+        got1 = meta.encode_group_nibbles(np.array([[[1]]]), PATTERN_1_2)
+        assert got0[0, 0] == 0x4 and got1[0, 0] == 0xE
+
+    def test_decode_inverts_encode_2_4(self):
+        pairs = np.array([[(0, 1), (1, 3), (2, 3), (0, 2)]])
+        nib = meta.encode_group_nibbles(pairs, PATTERN_2_4)
+        back = meta.decode_group_nibbles(nib, PATTERN_2_4)
+        np.testing.assert_array_equal(back, pairs)
+
+    def test_decode_inverts_encode_1_2(self):
+        idx = np.array([[[0], [1], [1], [0]]])
+        nib = meta.encode_group_nibbles(idx, PATTERN_1_2)
+        back = meta.decode_group_nibbles(nib, PATTERN_1_2)
+        np.testing.assert_array_equal(back, idx)
+
+    def test_rejects_descending_indices(self):
+        with pytest.raises(ValueError):
+            meta.encode_group_nibbles(np.array([[(1, 0)]]), PATTERN_2_4)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            meta.encode_group_nibbles(np.array([[(0, 4)]]), PATTERN_2_4)
+        with pytest.raises(ValueError):
+            meta.encode_group_nibbles(np.array([[[2]]]), PATTERN_1_2)
+
+    def test_rejects_unsupported_pattern(self):
+        with pytest.raises(ValueError):
+            meta.encode_group_nibbles(np.array([[(0, 1, 2)]]), NMPattern(3, 8))
+
+    def test_decode_rejects_illegal_nibble(self):
+        with pytest.raises(ValueError):
+            meta.decode_group_nibbles(np.array([[0x5]]), PATTERN_1_2)
+
+
+class TestBlockPacking:
+    def test_pack_four_nibbles_per_block(self):
+        nib = np.array([[0x4, 0x8, 0xC, 0xE]], dtype=np.uint8)
+        blocks = meta.pack_nibbles_to_blocks(nib)
+        assert blocks.shape == (1, 1)
+        assert blocks[0, 0] == 0x4 | (0x8 << 4) | (0xC << 8) | (0xE << 12)
+
+    def test_unpack_inverts_pack(self):
+        rng = np.random.default_rng(0)
+        nib = rng.choice([0x4, 0x8, 0xC, 0x9, 0xD, 0xE], size=(8, 16)).astype(np.uint8)
+        np.testing.assert_array_equal(
+            meta.unpack_blocks_to_nibbles(meta.pack_nibbles_to_blocks(nib)), nib
+        )
+
+    def test_pack_requires_multiple_of_four(self):
+        with pytest.raises(ValueError):
+            meta.pack_nibbles_to_blocks(np.zeros((2, 6), dtype=np.uint8))
+
+
+class TestRowInterleave:
+    def test_formula_matches_eq9(self):
+        rows = np.arange(64)
+        dst = meta.interleave_rows(rows)
+        expected = (rows // 32) * 32 + (rows % 8) * 4 + (rows % 32) // 8
+        np.testing.assert_array_equal(dst, expected)
+
+    def test_is_permutation_within_tile(self):
+        dst = meta.interleave_rows(np.arange(32))
+        assert sorted(dst.tolist()) == list(range(32))
+
+    def test_examples_from_figure6(self):
+        # row 1 -> 4, row 8 -> 1, row 9 -> 5 within the first tile
+        assert meta.interleave_rows(np.array([0]))[0] == 0
+        assert meta.interleave_rows(np.array([1]))[0] == 4
+        assert meta.interleave_rows(np.array([8]))[0] == 1
+        assert meta.interleave_rows(np.array([31]))[0] == 31
+
+
+class TestTileReordering:
+    def test_reorder_restore_roundtrip(self):
+        rng = np.random.default_rng(1)
+        blocks = rng.integers(0, 2**16, size=(32, 8)).astype(np.uint16)
+        reordered = meta.reorder_metadata_tile(blocks)
+        np.testing.assert_array_equal(meta.restore_metadata_tile(reordered), blocks)
+
+    def test_reorder_changes_layout(self):
+        blocks = np.arange(32 * 4, dtype=np.uint16).reshape(32, 4)
+        reordered = meta.reorder_metadata_tile(blocks)
+        assert not np.array_equal(reordered, blocks)
+
+    def test_requires_32_rows(self):
+        with pytest.raises(ValueError):
+            meta.reorder_metadata_tile(np.zeros((16, 4), dtype=np.uint16))
+
+    def test_subdiagonal_swap_is_involution(self):
+        rng = np.random.default_rng(2)
+        blocks = rng.integers(0, 2**16, size=(32, 6)).astype(np.uint16)
+        once = meta._swap_subdiagonal(blocks)
+        np.testing.assert_array_equal(meta._swap_subdiagonal(once), blocks)
+
+
+class TestFullPacking:
+    def test_pack_unpack_roundtrip(self):
+        rng = np.random.default_rng(3)
+        nib = rng.choice([0x4, 0x8, 0xC, 0x9, 0xD, 0xE], size=(64, 32)).astype(np.uint8)
+        packed = meta.pack_metadata(nib, reorder=True)
+        assert packed.dtype == np.uint16
+        assert packed.shape == (64, 8)
+        np.testing.assert_array_equal(meta.unpack_metadata(packed, reordered=True), nib)
+
+    def test_pack_without_reorder(self):
+        rng = np.random.default_rng(4)
+        nib = rng.choice([0x4, 0xE], size=(32, 8)).astype(np.uint8)
+        packed = meta.pack_metadata(nib, reorder=False)
+        np.testing.assert_array_equal(meta.unpack_metadata(packed, reordered=False), nib)
+
+    def test_pack_requires_tile_rows(self):
+        with pytest.raises(ValueError):
+            meta.pack_metadata(np.zeros((20, 8), dtype=np.uint8), reorder=True)
+
+    def test_metadata_nbytes(self):
+        # 128x128 matrix, 2:4: 32 groups per row, 4 bits each -> 16 bytes/row
+        assert meta.metadata_nbytes(128, 128, PATTERN_2_4) == 128 * 16
+        assert meta.metadata_nbytes(128, 128, PATTERN_1_2) == 128 * 32
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=1, max_value=8),
+    st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_property_metadata_packing_bijective(tiles, block_col_pairs, seed):
+    rng = np.random.default_rng(seed)
+    nib = rng.choice(
+        [0x4, 0x8, 0xC, 0x9, 0xD, 0xE], size=(32 * tiles, 8 * block_col_pairs)
+    )
+    nib = nib.astype(np.uint8)
+    packed = meta.pack_metadata(nib, reorder=True)
+    np.testing.assert_array_equal(meta.unpack_metadata(packed, reordered=True), nib)
+
+
+def test_pack_metadata_rejects_odd_block_columns():
+    nib = np.full((32, 4), 0x4, dtype=np.uint8)  # only one 16-bit block per row
+    with pytest.raises(ValueError):
+        meta.pack_metadata(nib, reorder=True)

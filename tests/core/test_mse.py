@@ -1,0 +1,97 @@
+"""Tests for the DFSS vs Performer MSE analysis (Appendix A.5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.mse import (
+    mse_comparison_curve,
+    mse_dfss_monte_carlo,
+    mse_dfss_theory,
+    mse_performer_bound,
+    mse_performer_monte_carlo,
+    softmax_kernel,
+)
+
+
+class TestSoftmaxKernel:
+    def test_value(self):
+        q = np.ones(4)
+        k = np.ones(4)
+        assert softmax_kernel(q, k) == pytest.approx(np.exp(4 / 2.0))
+
+    def test_batched(self):
+        rng = np.random.default_rng(0)
+        q = rng.normal(size=(10, 8))
+        k = rng.normal(size=(10, 8))
+        out = softmax_kernel(q, k)
+        assert out.shape == (10,)
+        assert np.all(out > 0)
+
+
+class TestTheory:
+    def test_dfss_mse_decreases_for_large_kernel_values(self):
+        d, qn = 64, 8.0
+        small = mse_dfss_theory(0.5, qn, d)
+        large = mse_dfss_theory(20.0, qn, d)
+        # relative error (MSE / SM^2) shrinks for large kernel values
+        assert large / 20.0**2 < small / 0.5**2
+
+    def test_dfss_mse_vanishes_as_sm_to_zero(self):
+        # MSE <= SM^2, so it vanishes (quadratically) as the kernel value -> 0
+        assert mse_dfss_theory(1e-4, 8.0, 64) <= 1e-8
+        assert mse_dfss_theory(1e-6, 8.0, 64) <= 1e-12
+
+    def test_performer_bound_blows_up_for_large_sm(self):
+        d, qn, m = 64, 8.0, 266
+        small = mse_performer_bound(0.5, qn, qn, d, m)
+        large = mse_performer_bound(20.0, qn, qn, d, m)
+        assert large / 20.0**2 > small / 0.5**2
+
+    def test_dfss_beats_performer_on_large_edges(self):
+        d, qn, m = 64, 8.0, 266
+        sm = 10.0
+        assert mse_dfss_theory(sm, qn, d) < mse_performer_bound(sm, qn, qn, d, m)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            mse_dfss_theory(-1.0, 8.0, 64)
+        with pytest.raises(ValueError):
+            mse_dfss_theory(1.0, 0.0, 64)
+        with pytest.raises(ValueError):
+            mse_performer_bound(0.0, 8.0, 8.0, 64, 64)
+
+    def test_comparison_curve_keys_and_shapes(self):
+        curve = mse_comparison_curve(d=64, num_features=266)
+        assert set(curve) == {"sm", "dfss", "performer_bound"}
+        assert curve["dfss"].shape == curve["sm"].shape
+
+
+class TestMonteCarlo:
+    def test_dfss_monte_carlo_matches_theory(self):
+        rng = np.random.default_rng(1)
+        d = 16
+        q = rng.normal(size=d)
+        k = rng.normal(size=d)
+        mse_mc, sm = mse_dfss_monte_carlo(q, k, trials=50000, seed=2)
+        expected = mse_dfss_theory(sm, float(np.linalg.norm(q)), d)
+        assert mse_mc == pytest.approx(expected, rel=0.15, abs=1e-4)
+
+    def test_performer_monte_carlo_within_bound(self):
+        rng = np.random.default_rng(3)
+        d = 16
+        q = rng.normal(size=d) * 0.5
+        k = rng.normal(size=d) * 0.5
+        mse_mc, sm = mse_performer_monte_carlo(q, k, num_features=32, trials=100, seed=4)
+        bound = mse_performer_bound(
+            sm, float(np.linalg.norm(q)), float(np.linalg.norm(k)), d, 32
+        )
+        assert mse_mc <= bound * 1.5 + 1e-6
+
+    def test_monte_carlo_unbiased_kernel_value(self):
+        rng = np.random.default_rng(5)
+        d = 8
+        q = rng.normal(size=d) * 0.3
+        k = rng.normal(size=d) * 0.3
+        _, sm1 = mse_dfss_monte_carlo(q, k, trials=10, seed=0)
+        _, sm2 = mse_performer_monte_carlo(q, k, num_features=8, trials=5, seed=0)
+        assert sm1 == pytest.approx(sm2)

@@ -1,0 +1,107 @@
+"""Tests for the memory-traffic speedup models (Props. 4.3, Eqs. 4-8, Eq. 33)."""
+
+import numpy as np
+import pytest
+
+from repro.core import theory
+
+
+class TestTraffic:
+    def test_full_attention_table5_row(self):
+        n, d, t = 1024, 64, 128
+        tr = theory.full_attention_traffic(n, d, t)
+        assert tr.qk == n * n * (2 * d / t + 1)
+        assert tr.softmax == 2 * n * n
+        assert tr.av == n * d * (2 * n / t + 1)
+
+    def test_topk_traffic_table5_row(self):
+        n, d, t, s = 1024, 64, 128, 0.1
+        tr = theory.topk_attention_traffic(n, s, d, t)
+        assert tr.qk == n * n * (2 * d / t + 1)
+        assert tr.softmax == 2 * n * n * s
+        assert tr.av == n * d * (s * n + s * n / t + 1)
+
+    def test_dfss_writes_less_than_full(self):
+        full = theory.full_attention_traffic(2048)
+        dfss = theory.dfss_attention_traffic(2048)
+        assert dfss.qk < full.qk
+        assert dfss.softmax == full.softmax / 2
+        assert dfss.av < full.av
+
+    def test_traffic_total(self):
+        tr = theory.full_attention_traffic(256)
+        assert tr.total == tr.qk + tr.softmax + tr.av
+
+
+class TestSpeedups:
+    def test_dfss_asymptotic_value(self):
+        # (64*64 + 48*128) / (57*64 + 25*128) = 10240 / 6848 ≈ 1.495
+        assert theory.speedup_dfss(64, 128) == pytest.approx(10240 / 6848)
+
+    def test_dfss_speedup_in_paper_band(self):
+        # paper reports 1.27-1.89x attention speedup; the pure-traffic model
+        # sits inside that band for typical configurations
+        for d in (32, 64, 128):
+            for t in (64, 128, 256):
+                s = theory.speedup_dfss(d, t)
+                assert 1.2 < s < 2.0
+
+    def test_exact_approaches_asymptotic(self):
+        asym = theory.speedup_dfss()
+        exact_small = theory.speedup_dfss_exact(256)
+        exact_large = theory.speedup_dfss_exact(1 << 15)
+        assert abs(exact_large - asym) < abs(exact_small - asym)
+        assert exact_large == pytest.approx(asym, rel=1e-2)
+
+    def test_topk_needs_tiny_density_for_speedup(self):
+        # paper: s < 4.5% is necessary for any Top-K speedup at d=64, T=128
+        assert theory.speedup_topk_bound(0.045) == pytest.approx(1.0, abs=0.02)
+        assert theory.speedup_topk_bound(0.10) < 1.0
+        assert theory.speedup_topk_bound(0.01) > 1.0
+
+    def test_fixed_speedup_monotone_in_density(self):
+        values = [theory.speedup_fixed(s) for s in (0.1, 0.3, 0.5, 0.7, 1.0)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+        assert theory.speedup_fixed(1.0) == pytest.approx(1.0, abs=0.01)
+
+    def test_topk_bound_decreasing(self):
+        values = [theory.speedup_topk_bound(s) for s in (0.01, 0.05, 0.2, 0.5)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+
+class TestCrossovers:
+    def test_topk_equal_efficiency_density_near_002(self):
+        s = theory.topk_equal_efficiency_density()
+        assert 0.015 < s < 0.025
+        # at that density Top-K has (asymptotically) the same speedup as DFSS
+        assert theory.speedup_topk_bound(s) == pytest.approx(theory.speedup_dfss(), rel=1e-6)
+
+    def test_fixed_equal_efficiency_density_near_063(self):
+        s = theory.fixed_equal_efficiency_density()
+        assert 0.60 < s < 0.66
+        assert theory.speedup_fixed(s) == pytest.approx(theory.speedup_dfss(), rel=1e-6)
+
+
+class TestPerformer:
+    def test_breakeven_length_matches_paper(self):
+        # paper: speedup > 1 when n > 672
+        n = theory.performer_breakeven_length()
+        assert 600 < n < 750
+        assert theory.speedup_performer(n) > 1.0
+        assert theory.speedup_performer(n - 32) < 1.05
+
+    def test_crossover_with_dfss_matches_paper(self):
+        # paper: performer overtakes DFSS at n > 1002
+        n = theory.dfss_performer_crossover_length()
+        assert 900 < n < 1100
+
+    def test_performer_speedup_grows_with_n(self):
+        speeds = [theory.speedup_performer(n) for n in (256, 1024, 4096, 16384)]
+        assert all(b > a for a, b in zip(speeds, speeds[1:]))
+
+    def test_performer_slow_at_short_sequence(self):
+        assert theory.speedup_performer(256) < 1.0
+
+    def test_default_feature_count(self):
+        # m = d ln d ≈ 266 for d = 64
+        assert int(round(64 * np.log(64))) == 266

@@ -1,0 +1,179 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.image import ImageClsConfig, generate_image_dataset
+from repro.data.listops import (
+    ListOpsConfig,
+    PAD,
+    VOCAB_SIZE,
+    evaluate_expression,
+    generate_listops_dataset,
+)
+from repro.data.mlm import IGNORE_INDEX, MASK, SynthMLMConfig, generate_mlm_dataset
+from repro.data.qa import SynthQAConfig, generate_qa_dataset, train_test_split
+from repro.data.retrieval import RetrievalConfig, generate_retrieval_dataset
+from repro.data.textcls import TextClsConfig, generate_textcls_dataset
+
+
+class TestQA:
+    def test_shapes_and_ranges(self):
+        cfg = SynthQAConfig(num_examples=32, seq_len=48, vocab_size=48)
+        tokens, spans = generate_qa_dataset(cfg, seed=0)
+        assert tokens.shape == (32, 48) and spans.shape == (32, 2)
+        assert tokens.min() >= 0 and tokens.max() < 48
+        assert np.all(spans[:, 0] <= spans[:, 1])
+        assert np.all(spans[:, 1] < 48)
+
+    def test_question_contains_key_of_answer(self):
+        cfg = SynthQAConfig(num_examples=16, seq_len=48, vocab_size=48)
+        tokens, spans = generate_qa_dataset(cfg, seed=1)
+        for seq, (start, _) in zip(tokens, spans):
+            key = seq[start - 1]
+            assert key == seq[1]  # question token repeats the key
+
+    def test_deterministic_under_seed(self):
+        cfg = SynthQAConfig(num_examples=8)
+        a = generate_qa_dataset(cfg, seed=3)
+        b = generate_qa_dataset(cfg, seed=3)
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])
+
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            SynthQAConfig(vocab_size=8, num_keys=8)
+        with pytest.raises(ValueError):
+            SynthQAConfig(seq_len=8)
+
+    def test_train_test_split(self):
+        tokens, spans = generate_qa_dataset(SynthQAConfig(num_examples=40), seed=0)
+        xtr, ytr, xte, yte = train_test_split(tokens, spans, test_fraction=0.25, seed=0)
+        assert len(xtr) == 30 and len(xte) == 10
+        assert len(ytr) == 30 and len(yte) == 10
+
+
+class TestMLM:
+    def test_shapes_and_masking(self):
+        cfg = SynthMLMConfig(num_examples=16, seq_len=32, vocab_size=32)
+        tokens, targets = generate_mlm_dataset(cfg, seed=0)
+        assert tokens.shape == targets.shape == (16, 32)
+        masked = targets != IGNORE_INDEX
+        assert 0.05 < masked.mean() < 0.3
+        assert np.all(tokens[masked] == MASK)
+        assert np.all(targets[masked] >= 2)
+
+    def test_first_token_never_masked(self):
+        tokens, targets = generate_mlm_dataset(SynthMLMConfig(num_examples=8), seed=1)
+        assert np.all(targets[:, 0] == IGNORE_INDEX)
+
+    def test_markov_structure_is_learnable(self):
+        # consecutive-token pairs should repeat far more often than chance
+        cfg = SynthMLMConfig(num_examples=32, seq_len=64, vocab_size=32, branching=2)
+        tokens, _ = generate_mlm_dataset(cfg, seed=2)
+        pairs = set()
+        for row in tokens:
+            clean = row[row != MASK]
+            pairs.update(zip(clean[:-1].tolist(), clean[1:].tolist()))
+        # with branching 2 the number of distinct bigrams is much smaller than 30*30
+        assert len(pairs) < 0.3 * 30 * 30
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            SynthMLMConfig(mask_prob=0.0)
+        with pytest.raises(ValueError):
+            SynthMLMConfig(branching=0)
+
+
+class TestListOps:
+    def test_shapes_and_labels(self):
+        cfg = ListOpsConfig(num_examples=32, seq_len=64)
+        tokens, labels = generate_listops_dataset(cfg, seed=0)
+        assert tokens.shape == (32, 64)
+        assert labels.min() >= 0 and labels.max() <= 9
+        assert tokens.max() < VOCAB_SIZE
+
+    def test_labels_match_expression_evaluation(self):
+        cfg = ListOpsConfig(num_examples=24, seq_len=64, max_depth=2)
+        tokens, labels = generate_listops_dataset(cfg, seed=1)
+        for row, label in zip(tokens, labels):
+            expr = [int(t) for t in row if t != PAD]
+            assert evaluate_expression(expr) == label
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            ListOpsConfig(max_args=1)
+
+
+class TestTextCls:
+    def test_shapes_and_label_balance(self):
+        cfg = TextClsConfig(num_examples=64, seq_len=48)
+        tokens, labels = generate_textcls_dataset(cfg, seed=0)
+        assert tokens.shape == (64, 48)
+        assert set(np.unique(labels)) <= {0, 1}
+        assert 0.2 < labels.mean() < 0.8
+
+    def test_class_phrases_present(self):
+        cfg = TextClsConfig(num_examples=16, seq_len=48)
+        tokens, labels = generate_textcls_dataset(cfg, seed=1)
+        # documents of different classes have different token distributions
+        mean0 = tokens[labels == 0].mean()
+        mean1 = tokens[labels == 1].mean()
+        assert mean0 != pytest.approx(mean1, abs=1e-9)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            TextClsConfig(num_classes=1)
+
+
+class TestRetrieval:
+    def test_shapes(self):
+        cfg = RetrievalConfig(num_examples=32, seq_len=48)
+        pairs, labels = generate_retrieval_dataset(cfg, seed=0)
+        assert pairs.shape == (32, 2, 48)
+        assert set(np.unique(labels)) <= {0, 1}
+
+    def test_positive_pairs_share_signatures(self):
+        cfg = RetrievalConfig(num_examples=64, seq_len=64)
+        pairs, labels = generate_retrieval_dataset(cfg, seed=1)
+        overlaps_pos, overlaps_neg = [], []
+        for (a, b), label in zip(pairs, labels):
+            overlap = len(set(a.tolist()) & set(b.tolist()))
+            (overlaps_pos if label else overlaps_neg).append(overlap)
+        assert np.mean(overlaps_pos) > np.mean(overlaps_neg)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            RetrievalConfig(num_topics=1)
+
+
+class TestImage:
+    def test_shapes_and_vocab(self):
+        cfg = ImageClsConfig(num_examples=32, image_size=8, num_levels=8)
+        tokens, labels = generate_image_dataset(cfg, seed=0)
+        assert tokens.shape == (32, 64)
+        assert tokens.min() >= 0 and tokens.max() < 8
+        assert labels.max() < cfg.num_classes
+
+    def test_classes_are_visually_distinct(self):
+        cfg = ImageClsConfig(num_examples=64, image_size=12, num_classes=2, noise=0.05)
+        tokens, labels = generate_image_dataset(cfg, seed=1)
+        mean0 = tokens[labels == 0].mean(axis=0)
+        mean1 = tokens[labels == 1].mean(axis=0)
+        assert np.abs(mean0 - mean1).max() > 1.0
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            ImageClsConfig(num_classes=9)
+        with pytest.raises(ValueError):
+            ImageClsConfig(image_size=4)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_property_generators_deterministic(seed):
+    a1, _ = generate_textcls_dataset(TextClsConfig(num_examples=4, seq_len=32), seed=seed)
+    a2, _ = generate_textcls_dataset(TextClsConfig(num_examples=4, seq_len=32), seed=seed)
+    np.testing.assert_array_equal(a1, a2)

@@ -1,0 +1,110 @@
+"""Integration tests for the experiment harness (smoke scale throughout)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import get_experiment, list_experiments, run_experiment
+from repro.experiments.common import model_scale, resolve_scale
+from repro.experiments.registry import EXPERIMENTS
+
+SCALE = "smoke"
+
+#: Experiments cheap enough to run inside the unit-test suite.
+FAST_EXPERIMENTS = ["table5", "figure5", "figure11", "figure14", "figure15", "figure16",
+                    "appendix_mse", "figure12"]
+#: Experiments that train a model; exercised once each.
+TRAINING_EXPERIMENTS = ["table2", "figure19"]
+
+
+class TestRegistry:
+    def test_every_paper_table_and_figure_present(self):
+        expected = {"table1", "table2", "table3", "table4", "table5", "table6",
+                    "figure5", "figure11", "figure12", "figure13", "figure14",
+                    "figure15", "figure16", "figure19", "appendix_mse"}
+        assert expected <= set(list_experiments())
+
+    def test_get_experiment_unknown(self):
+        with pytest.raises(KeyError):
+            get_experiment("table99")
+
+    def test_resolve_scale(self):
+        assert resolve_scale("smoke") == "smoke"
+        with pytest.raises(ValueError):
+            resolve_scale("huge")
+        assert model_scale("smoke").train_steps < model_scale("full").train_steps
+
+
+class TestFastExperiments:
+    @pytest.mark.parametrize("key", FAST_EXPERIMENTS)
+    def test_runs_and_formats(self, key):
+        exp = get_experiment(key)
+        result = exp.run(scale=SCALE, seed=0)
+        assert result["rows"], key
+        assert len(result["headers"]) == len(result["rows"][0]), key
+        text = exp.format_result(result)
+        assert isinstance(text, str) and len(text) > 0
+
+    def test_figure5_dfss_band(self):
+        result = run_experiment("figure5", scale=SCALE)
+        assert 1.25 <= result["dfss_speedup_min"] <= result["dfss_speedup_max"] <= 1.95
+
+    def test_figure11_crossovers(self):
+        result = run_experiment("figure11", scale=SCALE)
+        assert result["topk_crossover_density"] == pytest.approx(0.02, abs=0.005)
+        assert result["fixed_crossover_density"] == pytest.approx(0.63, abs=0.03)
+
+    def test_figure14_band(self):
+        result = run_experiment("figure14", scale=SCALE)
+        assert result["dfss_speedup_min"] > 1.0
+
+    def test_figure16_band(self):
+        result = run_experiment("figure16", scale=SCALE)
+        assert result["dfss_memory_reduction_min"] > 1.2
+
+    def test_table5_traffic_check(self):
+        result = run_experiment("table5", scale=SCALE)
+        assert result["sddmm_write_relative_error"] < 0.02
+
+    def test_figure12_empirical_close_to_theory_for_nm(self):
+        result = run_experiment("figure12", scale=SCALE)
+        # the final row for each p holds the 1:2 / 2:4 values at density 0.5
+        for row in result["rows"]:
+            p, density, th_a, emp_a, th_b, emp_b = row
+            if density == 0.5 and th_a == th_b:  # the N:M row
+                assert emp_a == pytest.approx(th_a, abs=0.08)
+                assert emp_b >= emp_a - 0.05
+
+    def test_appendix_mse_rows_consistent(self):
+        result = run_experiment("appendix_mse", scale=SCALE)
+        # The Monte-Carlo estimate is a (heavily skewed) finite-sample estimate of the
+        # closed form: it can be exactly zero when the losing-comparison probability is
+        # tiny relative to the smoke-scale trial count, but it must never blow up past
+        # the theoretical value by much, and it must be positive for at least one pair.
+        positives = 0
+        for sm, dfss_theory, dfss_mc, perf_mc in result["rows"]:
+            assert 0.0 <= dfss_mc <= max(2.5 * dfss_theory, 1e-3)
+            positives += dfss_mc > 0
+        assert positives >= 1
+
+
+class TestTrainingExperiments:
+    @pytest.mark.parametrize("key", TRAINING_EXPERIMENTS)
+    def test_runs(self, key):
+        exp = get_experiment(key)
+        result = exp.run(scale=SCALE, seed=0)
+        assert result["rows"]
+        text = exp.format_result(result)
+        assert isinstance(text, str)
+
+    def test_table4_subset_runs(self):
+        result = run_experiment(
+            "table4", scale=SCALE, mechanisms=["Transformer (full)", "Dfss 2:4"],
+            tasks=("text",),
+        )
+        assert len(result["rows"]) == 2
+        # accuracies are percentages
+        assert all(0.0 <= row[1] <= 100.0 for row in result["rows"])
+
+    def test_table4_rejects_unknown_mechanism(self):
+        with pytest.raises(ValueError):
+            run_experiment("table4", scale=SCALE, mechanisms=["FlashAttention"], tasks=("text",))

@@ -1,0 +1,116 @@
+"""Tests for the GPU device model and per-operator cost records."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import ops
+from repro.gpusim.device import AMPERE_A100, TURING_T4, GpuDevice
+
+
+class TestGpuDevice:
+    def test_defaults_are_a100(self):
+        assert "A100" in AMPERE_A100.name
+        assert AMPERE_A100.dram_bandwidth > 1e12
+        assert AMPERE_A100.sparse_tensor_core_speedup > 1.0
+
+    def test_matmul_flops_by_dtype(self):
+        assert AMPERE_A100.matmul_flops("bfloat16") > AMPERE_A100.matmul_flops("float32")
+        assert AMPERE_A100.matmul_flops("bfloat16", sparse=True) == pytest.approx(
+            AMPERE_A100.matmul_flops("bfloat16") * AMPERE_A100.sparse_tensor_core_speedup
+        )
+        with pytest.raises(ValueError):
+            AMPERE_A100.matmul_flops("int8")
+
+    def test_with_overrides(self):
+        dev = AMPERE_A100.with_overrides(dram_bandwidth=1.0e12)
+        assert dev.dram_bandwidth == 1.0e12
+        assert dev.tensor_core_flops == AMPERE_A100.tensor_core_flops
+
+    def test_t4_has_no_sparse_tensor_core(self):
+        assert TURING_T4.sparse_tensor_core_speedup == 1.0
+
+
+class TestOpCost:
+    def test_latency_roofline_memory_bound(self):
+        op = ops.OpCost("x", flops=1e6, bytes_read=1e9, bytes_written=0, unit="fp32")
+        lat = op.latency(AMPERE_A100)
+        assert lat == pytest.approx(1e9 / AMPERE_A100.dram_bandwidth
+                                    + AMPERE_A100.kernel_launch_overhead, rel=1e-6)
+
+    def test_latency_roofline_compute_bound(self):
+        op = ops.OpCost("x", flops=1e15, bytes_read=1e3, bytes_written=0,
+                        unit="tensor", dtype="bfloat16")
+        lat = op.latency(AMPERE_A100)
+        assert lat == pytest.approx(1e15 / AMPERE_A100.tensor_core_flops
+                                    + AMPERE_A100.kernel_launch_overhead, rel=1e-6)
+
+    def test_bandwidth_fraction_slows_kernel(self):
+        fast = ops.OpCost("x", bytes_read=1e9, unit="memory")
+        slow = ops.OpCost("x", bytes_read=1e9, unit="memory", bandwidth_fraction=0.25)
+        assert slow.latency(AMPERE_A100) > fast.latency(AMPERE_A100)
+
+    def test_unknown_unit_raises(self):
+        with pytest.raises(ValueError):
+            ops.OpCost("x", unit="dsp").latency(AMPERE_A100)
+
+    def test_total_latency_sums(self):
+        a = ops.OpCost("a", bytes_read=1e6, unit="memory")
+        b = ops.OpCost("b", bytes_read=2e6, unit="memory")
+        assert ops.total_latency([a, b], AMPERE_A100) == pytest.approx(
+            a.latency(AMPERE_A100) + b.latency(AMPERE_A100)
+        )
+
+
+class TestGemmCosts:
+    def test_traffic_matches_paper_model(self):
+        # QK^T: n^2 (2d/T + 1) elements for a large square GEMM
+        n, d, t = 1024, 64, 128
+        op = ops.gemm("qk", 1, n, n, d, dtype="float32", tile=t)
+        expected_elems = n * n * (2 * d / t) + n * n
+        assert op.bytes_total == pytest.approx(expected_elems * 4, rel=1e-6)
+
+    def test_flops(self):
+        op = ops.gemm("x", 2, 64, 128, 32, dtype="bfloat16")
+        assert op.flops == 2 * 2 * 64 * 128 * 32
+
+    def test_tile_quantisation_pads_small_gemms(self):
+        tiny = ops.gemm("tiny", 1, 20, 20, 20, dtype="bfloat16")
+        exact = ops.gemm("exact", 1, 32, 32, 32, dtype="bfloat16")
+        assert tiny.flops == exact.flops
+        assert tiny.bytes_total == exact.bytes_total
+
+    def test_small_gemm_bandwidth_penalty(self):
+        tiny = ops.gemm("tiny", 1, 32, 32, 64, dtype="bfloat16")
+        big = ops.gemm("big", 1, 2048, 2048, 64, dtype="bfloat16")
+        assert tiny.bandwidth_fraction < big.bandwidth_fraction
+        assert big.bandwidth_fraction == 1.0
+
+    def test_sddmm_writes_less_than_dense_gemm(self):
+        dense = ops.gemm("qk", 1, 1024, 1024, 64, dtype="bfloat16")
+        fused = ops.sddmm_nm_fused(1, 1024, 1024, 64, "bfloat16")
+        assert fused.bytes_written < dense.bytes_written
+        assert fused.bytes_written == pytest.approx(
+            dense.bytes_written * (0.5 + 1 / 16), rel=1e-6
+        )
+        assert fused.bytes_read == pytest.approx(dense.bytes_read, rel=1e-6)
+
+    def test_spmm_reads_compressed_weights(self):
+        dense_av = ops.gemm("av", 1, 1024, 64, 1024, dtype="bfloat16")
+        sparse_av = ops.spmm_nm(1, 1024, 1024, 64, "bfloat16")
+        assert sparse_av.bytes_total < dense_av.bytes_total
+        assert sparse_av.unit == "sparse_tensor"
+
+    def test_softmax_sparse_half_traffic(self):
+        dense = ops.softmax_dense(1, 512, 512, "bfloat16")
+        sparse = ops.softmax_sparse_nm(1, 512, 512, "bfloat16")
+        assert sparse.bytes_total == pytest.approx(dense.bytes_total / 2)
+
+    def test_topk_and_sort_have_degraded_bandwidth(self):
+        assert ops.topk_select(1, 128, 1024, 32, "float32").bandwidth_fraction < 1.0
+        assert ops.sort_rows(1, 1e6, "float32").bandwidth_fraction < 1.0
+
+    def test_framework_passes_scale_linearly(self):
+        one = ops.framework_passes("glue", 1, 1e6, "bfloat16", 1.0)
+        ten = ops.framework_passes("glue", 1, 1e6, "bfloat16", 10.0)
+        assert ten.bytes_total == pytest.approx(10 * one.bytes_total)
+        assert ten.launches == 10

@@ -1,0 +1,176 @@
+"""Tests (incl. numerical gradient checks) for the autograd engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.nn.autograd import Tensor, concatenate, parameter, stack
+
+
+def numerical_grad(f, x, eps=1e-3):
+    """Central-difference gradient of a scalar-valued function of an ndarray."""
+    grad = np.zeros_like(x)
+    for idx in np.ndindex(x.shape):
+        xp, xm = x.copy(), x.copy()
+        xp[idx] += eps
+        xm[idx] -= eps
+        grad[idx] = (f(xp) - f(xm)) / (2 * eps)
+    return grad
+
+
+def check_gradients(build, x, tol=2e-2):
+    """Compare autograd and numerical gradients of ``sum(build(Tensor(x)))``."""
+    t = Tensor(x, requires_grad=True)
+    out = build(t)
+    out.sum().backward()
+    num = numerical_grad(lambda arr: float(build(Tensor(arr)).sum().item()), x)
+    np.testing.assert_allclose(t.grad, num, atol=tol, rtol=tol)
+
+
+RNG = np.random.default_rng(0)
+
+
+class TestBasicOps:
+    def test_add_mul_broadcast(self):
+        x = RNG.normal(size=(3, 4)).astype(np.float32)
+        b = RNG.normal(size=(4,)).astype(np.float32)
+        check_gradients(lambda t: (t + Tensor(b)) * 2.0 + t * t, x)
+
+    def test_sub_div(self):
+        x = RNG.normal(size=(3, 3)).astype(np.float32) + 3.0
+        check_gradients(lambda t: (t - 1.0) / (t + 2.0), x)
+
+    def test_pow(self):
+        x = np.abs(RNG.normal(size=(4,))).astype(np.float32) + 0.5
+        check_gradients(lambda t: t**3, x)
+
+    def test_matmul(self):
+        x = RNG.normal(size=(3, 4)).astype(np.float32)
+        w = RNG.normal(size=(4, 5)).astype(np.float32)
+        check_gradients(lambda t: t @ Tensor(w), x)
+
+    def test_batched_matmul(self):
+        x = RNG.normal(size=(2, 3, 4)).astype(np.float32)
+        w = RNG.normal(size=(2, 4, 3)).astype(np.float32)
+        check_gradients(lambda t: t @ Tensor(w), x)
+
+    def test_matmul_grad_wrt_second_operand(self):
+        a = RNG.normal(size=(3, 4)).astype(np.float32)
+        w = RNG.normal(size=(4, 2)).astype(np.float32)
+        check_gradients(lambda t: Tensor(a) @ t, w)
+
+    def test_exp_log_sqrt_tanh_sigmoid(self):
+        x = np.abs(RNG.normal(size=(5,))).astype(np.float32) + 0.5
+        check_gradients(lambda t: t.exp(), x)
+        check_gradients(lambda t: t.log(), x)
+        check_gradients(lambda t: t.sqrt(), x)
+        check_gradients(lambda t: t.tanh(), x)
+        check_gradients(lambda t: t.sigmoid(), x)
+
+    def test_relu_and_erf(self):
+        x = RNG.normal(size=(8,)).astype(np.float32) + 0.05
+        check_gradients(lambda t: t.relu(), x)
+        check_gradients(lambda t: t.erf(), x)
+
+    def test_reductions(self):
+        x = RNG.normal(size=(3, 4)).astype(np.float32)
+        check_gradients(lambda t: t.sum(axis=1), x)
+        check_gradients(lambda t: t.mean(axis=0), x)
+        check_gradients(lambda t: t.sum(), x)
+
+    def test_max_reduction(self):
+        x = RNG.normal(size=(3, 5)).astype(np.float32)
+        check_gradients(lambda t: t.max(axis=-1), x)
+
+    def test_reshape_transpose_swapaxes(self):
+        x = RNG.normal(size=(2, 3, 4)).astype(np.float32)
+        check_gradients(lambda t: t.reshape(6, 4) @ Tensor(np.ones((4, 2), np.float32)), x)
+        check_gradients(lambda t: t.transpose(1, 0, 2).sum(axis=0), x)
+        check_gradients(lambda t: t.swapaxes(-1, -2).sum(axis=1), x)
+
+    def test_getitem(self):
+        x = RNG.normal(size=(4, 5)).astype(np.float32)
+        check_gradients(lambda t: t[1:3, ::2], x)
+
+    def test_getitem_integer_array(self):
+        x = RNG.normal(size=(6, 3)).astype(np.float32)
+        ids = np.array([0, 2, 2, 5])
+        t = Tensor(x, requires_grad=True)
+        t[ids].sum().backward()
+        expected = np.zeros_like(x)
+        np.add.at(expected, ids, 1.0)
+        np.testing.assert_allclose(t.grad, expected)
+
+    def test_masked_fill(self):
+        x = RNG.normal(size=(3, 4)).astype(np.float32)
+        mask = RNG.random((3, 4)) > 0.5
+        t = Tensor(x, requires_grad=True)
+        t.masked_fill(mask, -5.0).sum().backward()
+        np.testing.assert_allclose(t.grad, (~mask).astype(np.float32))
+
+    def test_concatenate_and_stack(self):
+        a = Tensor(RNG.normal(size=(2, 3)).astype(np.float32), requires_grad=True)
+        b = Tensor(RNG.normal(size=(2, 3)).astype(np.float32), requires_grad=True)
+        concatenate([a, b], axis=1).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 3)))
+        np.testing.assert_allclose(b.grad, np.ones((2, 3)))
+        a.zero_grad(); b.zero_grad()
+        stack([a, b], axis=0).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 3)))
+
+
+class TestGraphMechanics:
+    def test_gradient_accumulates_on_reuse(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = x * 3.0 + x * 4.0
+        y.backward()
+        np.testing.assert_allclose(x.grad, [7.0])
+
+    def test_detach_stops_gradient(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        (x.detach() * 3.0 + x).backward()
+        np.testing.assert_allclose(x.grad, [1.0])
+
+    def test_backward_requires_grad(self):
+        with pytest.raises(RuntimeError):
+            Tensor(np.ones(3)).backward()
+
+    def test_no_grad_tracking_for_constants(self):
+        x = Tensor(np.ones(3))
+        y = x * 2.0
+        assert not y.requires_grad and y._backward is None
+
+    def test_parameter_helper(self):
+        p = parameter(np.zeros(3), name="w")
+        assert p.requires_grad and p.name == "w"
+
+    def test_deep_chain_does_not_hit_recursion_limit(self):
+        x = Tensor(np.ones(4), requires_grad=True)
+        y = x
+        for _ in range(2000):
+            y = y + 1.0
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones(4))
+
+    def test_zero_grad(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        (x * 2.0).sum().backward()
+        assert x.grad is not None
+        x.zero_grad()
+        assert x.grad is None
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    arrays(np.float32, (3, 4), elements=st.floats(-3, 3, width=32)),
+    arrays(np.float32, (4, 2), elements=st.floats(-3, 3, width=32)),
+)
+def test_property_matmul_grad_matches_formula(a, b):
+    ta = Tensor(a, requires_grad=True)
+    tb = Tensor(b, requires_grad=True)
+    (ta @ tb).sum().backward()
+    ones = np.ones((3, 2), dtype=np.float32)
+    np.testing.assert_allclose(ta.grad, ones @ b.T, atol=1e-4)
+    np.testing.assert_allclose(tb.grad, a.T @ ones, atol=1e-4)

@@ -1,0 +1,189 @@
+"""Tests for functional ops, layers and optimisers."""
+
+import numpy as np
+import pytest
+
+import repro.nn.functional as F
+from repro.nn.autograd import Tensor
+from repro.nn.layers import Dropout, Embedding, LayerNorm, Linear, Module, Sequential
+from repro.nn.optim import SGD, Adam, AdamW, WarmupInverseSquareRoot, clip_grad_norm
+
+
+class TestFunctional:
+    def test_softmax_rows_sum_to_one(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(4, 8)).astype(np.float32))
+        w = F.softmax(x)
+        np.testing.assert_allclose(w.data.sum(-1), 1.0, atol=1e-6)
+
+    def test_masked_softmax_zeroes_masked(self):
+        x = Tensor(np.zeros((2, 4), np.float32))
+        mask = np.array([[True, True, False, False], [True, False, False, False]])
+        w = F.masked_softmax(x, mask)
+        assert np.all(w.data[~mask] < 1e-6)
+        np.testing.assert_allclose(w.data.sum(-1), 1.0, atol=1e-5)
+
+    def test_log_softmax_consistency(self):
+        x = Tensor(np.random.default_rng(1).normal(size=(3, 5)).astype(np.float32))
+        np.testing.assert_allclose(
+            F.log_softmax(x).data, np.log(F.softmax(x).data + 1e-12), atol=1e-5
+        )
+
+    def test_gelu_known_values(self):
+        x = Tensor(np.array([0.0, 1.0, -1.0], dtype=np.float32))
+        out = F.gelu(x).data
+        np.testing.assert_allclose(out, [0.0, 0.8413447, -0.15865529], atol=1e-5)
+
+    def test_layer_norm_statistics(self):
+        x = Tensor(np.random.default_rng(2).normal(2.0, 3.0, size=(4, 16)).astype(np.float32))
+        out = F.layer_norm(x, Tensor(np.ones(16)), Tensor(np.zeros(16)))
+        np.testing.assert_allclose(out.data.mean(-1), 0.0, atol=1e-5)
+        np.testing.assert_allclose(out.data.std(-1), 1.0, atol=1e-2)
+
+    def test_dropout_train_and_eval(self):
+        rng = np.random.default_rng(3)
+        x = Tensor(np.ones((100, 100), np.float32))
+        dropped = F.dropout(x, 0.5, rng, training=True)
+        assert 0.3 < (dropped.data == 0).mean() < 0.7
+        same = F.dropout(x, 0.5, rng, training=False)
+        np.testing.assert_array_equal(same.data, x.data)
+        with pytest.raises(ValueError):
+            F.dropout(x, 1.0, rng)
+
+    def test_cross_entropy_matches_manual(self):
+        logits = Tensor(np.array([[2.0, 0.0, -1.0], [0.0, 3.0, 0.0]], np.float32),
+                        requires_grad=True)
+        targets = np.array([0, 1])
+        loss = F.cross_entropy(logits, targets)
+        probs = np.exp(logits.data) / np.exp(logits.data).sum(-1, keepdims=True)
+        expected = -np.log(probs[[0, 1], [0, 1]]).mean()
+        assert loss.item() == pytest.approx(expected, abs=1e-5)
+        loss.backward()
+        assert logits.grad.shape == logits.shape
+
+    def test_cross_entropy_ignore_index(self):
+        logits = Tensor(np.zeros((3, 4), np.float32), requires_grad=True)
+        targets = np.array([1, -100, 2])
+        loss = F.cross_entropy(logits, targets, ignore_index=-100)
+        assert loss.item() == pytest.approx(np.log(4.0), abs=1e-5)
+
+    def test_embedding_requires_integer_ids(self):
+        with pytest.raises(TypeError):
+            F.embedding(Tensor(np.zeros((4, 2))), np.array([0.5]))
+
+    def test_accuracy_and_perplexity(self):
+        assert F.accuracy(np.array([[1.0, 0.0], [0.0, 1.0]]), np.array([0, 1])) == 1.0
+        assert F.perplexity_from_loss(0.0) == 1.0
+        assert F.perplexity_from_loss(100.0) < np.inf
+
+
+class TestLayers:
+    def test_linear_shapes_and_grads(self):
+        layer = Linear(8, 4, seed=0)
+        x = Tensor(np.random.default_rng(0).normal(size=(3, 8)).astype(np.float32))
+        out = layer(x)
+        assert out.shape == (3, 4)
+        out.sum().backward()
+        assert layer.weight.grad is not None and layer.bias.grad is not None
+
+    def test_linear_without_bias(self):
+        layer = Linear(8, 4, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_embedding_lookup_and_range_check(self):
+        emb = Embedding(10, 4, seed=0)
+        out = emb(np.array([[1, 2], [3, 9]]))
+        assert out.shape == (2, 2, 4)
+        with pytest.raises(ValueError):
+            emb(np.array([[10]]))
+
+    def test_layernorm_module(self):
+        ln = LayerNorm(8)
+        out = ln(Tensor(np.random.default_rng(1).normal(size=(2, 8)).astype(np.float32)))
+        np.testing.assert_allclose(out.data.mean(-1), 0.0, atol=1e-5)
+
+    def test_dropout_module_respects_eval(self):
+        drop = Dropout(0.5, seed=0)
+        x = Tensor(np.ones((50, 50), np.float32))
+        drop.train()
+        assert (drop(x).data == 0).any()
+        drop.eval()
+        np.testing.assert_array_equal(drop(x).data, x.data)
+        with pytest.raises(ValueError):
+            Dropout(1.5)
+
+    def test_sequential(self):
+        model = Sequential(Linear(4, 8, seed=0), Linear(8, 2, seed=1))
+        out = model(Tensor(np.zeros((3, 4), np.float32)))
+        assert out.shape == (3, 2)
+        assert len(model.parameters()) == 4
+
+    def test_module_named_parameters_and_state_dict(self):
+        model = Sequential(Linear(4, 4, seed=0), LayerNorm(4))
+        names = dict(model.named_parameters())
+        assert "layer0.weight" in names and "layer1.bias" in names
+        state = model.state_dict()
+        model2 = Sequential(Linear(4, 4, seed=5), LayerNorm(4))
+        model2.load_state_dict(state)
+        np.testing.assert_array_equal(model2.state_dict()["layer0.weight"], state["layer0.weight"])
+
+    def test_load_state_dict_validates(self):
+        model = Sequential(Linear(4, 4, seed=0))
+        with pytest.raises(ValueError):
+            model.load_state_dict({"bogus": np.zeros(1)})
+
+
+class TestOptim:
+    def _quadratic_problem(self):
+        w = Tensor(np.array([5.0, -3.0], np.float32), requires_grad=True)
+        return w
+
+    def test_sgd_converges_on_quadratic(self):
+        w = self._quadratic_problem()
+        opt = SGD([w], lr=0.1, momentum=0.9)
+        for _ in range(200):
+            loss = (w * w).sum()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        assert np.abs(w.data).max() < 1e-2
+
+    def test_adam_converges_on_quadratic(self):
+        w = self._quadratic_problem()
+        opt = Adam([w], lr=0.1)
+        for _ in range(300):
+            loss = (w * w).sum()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        assert np.abs(w.data).max() < 1e-2
+
+    def test_adamw_decay_shrinks_weights(self):
+        w = Tensor(np.ones(4, np.float32) * 2.0, requires_grad=True)
+        opt = AdamW([w], lr=0.01, weight_decay=0.1)
+        for _ in range(50):
+            loss = (w * 0.0).sum()  # zero gradient; only decay acts
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        assert np.all(np.abs(w.data) < 2.0)
+
+    def test_clip_grad_norm(self):
+        w = Tensor(np.ones(4, np.float32), requires_grad=True)
+        (w * 100.0).sum().backward()
+        norm = clip_grad_norm([w], max_norm=1.0)
+        assert norm == pytest.approx(200.0)
+        assert np.linalg.norm(w.grad) == pytest.approx(1.0, rel=1e-5)
+
+    def test_optimizer_rejects_empty(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_warmup_schedule(self):
+        w = Tensor(np.ones(1), requires_grad=True)
+        opt = SGD([w], lr=1.0)
+        sched = WarmupInverseSquareRoot(opt, base_lr=1.0, warmup_steps=10)
+        lrs = [sched.step() for _ in range(30)]
+        assert lrs[0] == pytest.approx(0.1)
+        assert lrs[9] == pytest.approx(1.0)
+        assert lrs[-1] < 1.0

@@ -1,0 +1,86 @@
+"""Tests for shared utilities."""
+
+import numpy as np
+import pytest
+
+from repro.utils.formatting import format_float, format_table
+from repro.utils.seeding import DEFAULT_SEED, new_rng, set_global_seed, spawn_rngs
+from repro.utils.shapes import as_batched_3d, check_matmul_shapes, restore_batch_shape
+
+
+class TestSeeding:
+    def test_new_rng_deterministic(self):
+        a = new_rng(7).integers(0, 1000, size=10)
+        b = new_rng(7).integers(0, 1000, size=10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_new_rng_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert new_rng(gen) is gen
+
+    def test_new_rng_none(self):
+        assert isinstance(new_rng(None), np.random.Generator)
+
+    def test_spawn_rngs_independent(self):
+        rngs = spawn_rngs(DEFAULT_SEED, 3)
+        assert len(rngs) == 3
+        vals = [r.integers(0, 10**9) for r in rngs]
+        assert len(set(vals)) == 3
+
+    def test_set_global_seed_returns_generator(self):
+        g = set_global_seed(11)
+        assert isinstance(g, np.random.Generator)
+
+
+class TestShapes:
+    def test_round_trip_4d(self):
+        x = np.arange(2 * 3 * 4 * 5, dtype=np.float32).reshape(2, 3, 4, 5)
+        flat, batch = as_batched_3d(x)
+        assert flat.shape == (6, 4, 5)
+        np.testing.assert_array_equal(restore_batch_shape(flat, batch), x)
+
+    def test_2d_gets_singleton_batch(self):
+        x = np.zeros((4, 5))
+        flat, batch = as_batched_3d(x)
+        assert flat.shape == (1, 4, 5) and batch == ()
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            as_batched_3d(np.zeros(5))
+
+    def test_restore_rejects_non_3d(self):
+        with pytest.raises(ValueError):
+            restore_batch_shape(np.zeros((4, 5)), ())
+
+    def test_check_matmul_shapes(self):
+        check_matmul_shapes(np.zeros((2, 3, 4)), np.zeros((2, 4, 5)))
+        with pytest.raises(ValueError):
+            check_matmul_shapes(np.zeros((2, 3, 4)), np.zeros((2, 5, 6)))
+        with pytest.raises(ValueError):
+            check_matmul_shapes(np.zeros((2, 3, 4)), np.zeros((3, 4, 5)))
+        with pytest.raises(ValueError):
+            check_matmul_shapes(np.zeros(3), np.zeros((3, 4)))
+
+
+class TestFormatting:
+    def test_format_float(self):
+        assert format_float(1.23456, 2) == "1.23"
+        assert format_float("abc") == "abc"
+        assert format_float(None) == "-"
+        assert format_float(7) == "7"
+        assert format_float(True) == "True"
+
+    def test_format_table_alignment(self):
+        out = format_table(["name", "value"], [["a", 1.5], ["longer", 2.25]], digits=2)
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "name" in lines[0] and "value" in lines[0]
+        assert all(len(l) == len(lines[0]) for l in lines[2:])
+
+    def test_format_table_title(self):
+        out = format_table(["x"], [[1]], title="Table 1")
+        assert out.splitlines()[0] == "Table 1"
+
+    def test_format_table_bad_row(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
