@@ -7,7 +7,6 @@
 """
 
 import numpy as np
-import pytest
 
 from repro.core.attention import dfss_attention, full_attention
 from repro.core.blocked_ell import sliding_window_mask

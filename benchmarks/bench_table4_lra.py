@@ -4,7 +4,6 @@ At the default (smoke) benchmark scale a representative subset of mechanisms
 is trained; ``REPRO_SCALE=full`` trains the whole Table-4 roster.
 """
 
-import numpy as np
 
 from repro.experiments.registry import get_experiment
 

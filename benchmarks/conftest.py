@@ -10,8 +10,29 @@ import os
 
 import pytest
 
+#: Scales the harness understands, smallest first.
+VALID_SCALES = ("smoke", "default", "full")
+
+
+def resolve_bench_scale(raw=None):
+    """Validate a ``REPRO_SCALE`` value, rejecting typos loudly.
+
+    A typo like ``REPRO_SCALE=ful`` used to fall through and silently run
+    whatever string it was set to; now it aborts collection with the list of
+    valid scales.
+    """
+    if raw is None:
+        raw = os.environ.get("REPRO_SCALE", "smoke")
+    value = str(raw).strip().lower()
+    if value not in VALID_SCALES:
+        raise pytest.UsageError(
+            f"invalid REPRO_SCALE={raw!r}: expected one of {'|'.join(VALID_SCALES)}"
+        )
+    return value
+
+
 #: Scale used by the benchmark harness (overridable via the environment).
-BENCH_SCALE = os.environ.get("REPRO_SCALE", "smoke")
+BENCH_SCALE = resolve_bench_scale()
 
 
 @pytest.fixture(scope="session")

@@ -5,7 +5,7 @@ Run with ``python examples/quickstart.py``.
 
 import numpy as np
 
-from repro.core import DfssAttention, dfss_attention, full_attention, sddmm_nm
+from repro.core import DfssAttention, full_attention, sddmm_nm
 from repro.core.theory import speedup_dfss
 from repro.gpusim import AttentionConfig, attention_speedup
 

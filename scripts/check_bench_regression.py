@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""CI perf gate: diff a fresh BENCH_kernels.json against the committed baseline.
+
+Usage::
+
+    python scripts/check_bench_regression.py BENCH_kernels.json \
+        benchmarks/baseline_kernels.json
+
+Exit status 0 means "ship it"; 1 means at least one check failed:
+
+* **parity** — any ``fast`` row whose ``parity_max_rel_err`` exceeds the
+  tolerance (the backends disagree numerically: a correctness bug, never
+  noise);
+* **coverage** — a (kernel, shape, backend) row present in the baseline is
+  missing from the fresh run;
+* **median slowdown** — a row's median runtime grew by more than the
+  threshold (default 30%) relative to the baseline, after normalising out
+  overall machine-speed differences (the geometric mean ratio across all
+  ``reference`` rows), so a uniformly slower CI box does not trip the gate
+  but a single regressed kernel does;
+* **speedup regression** — a ``fast`` row's speedup over ``reference`` fell
+  more than the threshold below its baseline value (this ratio is
+  machine-independent, making it the strongest cross-machine signal);
+* **e2e floor** — the end-to-end ``attention_e2e`` fast speedup dropped
+  below the absolute floor (default 3x, the repo's acceptance criterion).
+
+The script is stdlib-only so it runs anywhere, including bare CI images.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from typing import Dict, List, Tuple
+
+Key = Tuple[str, str, str]
+
+#: Reference rows faster than this are dominated by timer noise and Python
+#: overhead; they are exempt from the median-slowdown check (the speedup and
+#: parity checks still cover them).
+MIN_COMPARABLE_SECONDS = 1e-4
+
+
+def load(path: str) -> Dict:
+    with open(path) as fh:
+        payload = json.load(fh)
+    version = payload.get("schema_version")
+    if version != 1:
+        raise SystemExit(f"{path}: unsupported schema_version {version!r} (expected 1)")
+    return payload
+
+
+def index_rows(payload: Dict) -> Dict[Key, Dict]:
+    rows = {}
+    for row in payload.get("results", []):
+        rows[(row["kernel"], row["shape"], row["backend"])] = row
+    return rows
+
+
+def machine_factor(fresh: Dict[Key, Dict], base: Dict[Key, Dict]) -> float:
+    """Geometric-mean runtime ratio of shared reference rows (fresh / base)."""
+    logs: List[float] = []
+    for key, fresh_row in fresh.items():
+        if key[2] != "reference" or key not in base:
+            continue
+        fresh_med, base_med = fresh_row["median_s"], base[key]["median_s"]
+        if fresh_med > 0 and base_med > 0:
+            logs.append(math.log(fresh_med / base_med))
+    return math.exp(sum(logs) / len(logs)) if logs else 1.0
+
+
+def check(
+    fresh_payload: Dict,
+    base_payload: Dict,
+    threshold: float = 0.30,
+    parity_tol: float = 1e-2,
+    min_e2e_speedup: float = 3.0,
+) -> Tuple[List[str], float]:
+    """Return ``(failure messages, machine factor)``; no failures means pass."""
+    fresh = index_rows(fresh_payload)
+    base = index_rows(base_payload)
+    factor = machine_factor(fresh, base)
+    failures: List[str] = []
+
+    for key in sorted(base):
+        if key not in fresh:
+            failures.append(f"coverage: baseline row {key} missing from fresh results")
+    for key, row in sorted(fresh.items()):
+        err = row.get("parity_max_rel_err")
+        if err is not None and err > parity_tol:
+            failures.append(
+                f"parity: {key} disagrees with reference by {err:.2e} "
+                f"(tolerance {parity_tol:.0e})"
+            )
+        base_row = base.get(key)
+        if base_row is None:
+            continue
+        base_med = base_row["median_s"]
+        if base_med >= MIN_COMPARABLE_SECONDS and base_med > 0:
+            slowdown = (row["median_s"] / base_med) / factor
+            if slowdown > 1.0 + threshold:
+                failures.append(
+                    f"slowdown: {key} median {row['median_s'] * 1e3:.2f}ms is "
+                    f"{(slowdown - 1.0) * 100:.0f}% slower than baseline "
+                    f"{base_med * 1e3:.2f}ms (machine-normalised, "
+                    f"threshold {threshold * 100:.0f}%)"
+                )
+        if key[2] != "reference":
+            base_speedup = base_row.get("speedup", 0.0)
+            if base_speedup and row["speedup"] < base_speedup * (1.0 - threshold):
+                failures.append(
+                    f"speedup: {key} fell to {row['speedup']:.2f}x from baseline "
+                    f"{base_speedup:.2f}x (more than {threshold * 100:.0f}% drop)"
+                )
+    if min_e2e_speedup > 0:
+        e2e_rows = [
+            row for (kernel, _, backend), row in sorted(fresh.items())
+            if kernel == "attention_e2e" and backend == "fast"
+        ]
+        for row in e2e_rows:
+            if row["speedup"] < min_e2e_speedup:
+                failures.append(
+                    f"e2e floor: attention_e2e fast speedup {row['speedup']:.2f}x on "
+                    f"{row['shape']} is below the {min_e2e_speedup:.1f}x acceptance floor"
+                )
+        if not e2e_rows:
+            failures.append("e2e floor: no attention_e2e fast rows in fresh results")
+    return failures, factor
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("fresh", help="freshly generated BENCH_kernels.json")
+    parser.add_argument("baseline", help="committed benchmarks/baseline_kernels.json")
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        help="allowed fractional slowdown / speedup drop (default 0.30)")
+    parser.add_argument("--parity-tol", type=float, default=1e-2,
+                        help="max relative Frobenius error between backends (default 1e-2)")
+    parser.add_argument("--min-e2e-speedup", type=float, default=3.0,
+                        help="absolute floor for the fast attention_e2e speedup "
+                             "(0 disables; default 3.0)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="on success, overwrite the baseline with the fresh results")
+    args = parser.parse_args(argv)
+
+    fresh_payload = load(args.fresh)
+    base_payload = load(args.baseline)
+    failures, factor = check(
+        fresh_payload,
+        base_payload,
+        threshold=args.threshold,
+        parity_tol=args.parity_tol,
+        min_e2e_speedup=args.min_e2e_speedup,
+    )
+    print(f"perf gate: {len(fresh_payload.get('results', []))} fresh rows vs "
+          f"{len(base_payload.get('results', []))} baseline rows "
+          f"(machine factor {factor:.2f}x)")
+    if failures:
+        print(f"\nFAIL — {len(failures)} check(s) failed:")
+        for message in failures:
+            print(f"  - {message}")
+        return 1
+    print("PASS — no perf regressions, parity intact")
+    if args.update_baseline:
+        with open(args.baseline, "w") as fh:
+            json.dump(fresh_payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"baseline updated: {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,9 +1,47 @@
-"""Setuptools shim so `pip install -e .` works without the `wheel` package installed.
+"""Package metadata for the DFSS reproduction.
 
-All project metadata lives in pyproject.toml; this file only enables the
-legacy editable-install path (`--no-use-pep517`) on offline machines.
+Kept in setup.py (rather than a ``[project]`` table) so the legacy editable
+install path (``pip install -e . --no-use-pep517``) works on offline machines
+without the ``wheel`` package; pyproject.toml carries the build-system
+declaration and tool configuration.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="dfss-repro",
+    version="0.2.0",
+    description=(
+        "NumPy reproduction of DFSS: dynamic N:M fine-grained structured "
+        "sparse attention (PPoPP'23), with reference and fast kernel backends"
+    ),
+    long_description=(
+        "Algorithm-level reproduction of 'Dynamic N:M Fine-grained Structured "
+        "Sparse Attention Mechanism' (conf_ppopp_ChenQQ0DX23): fused "
+        "SDDMM + N:M pruning, sparse softmax, SpMM, baselines, an analytical "
+        "GPU performance model, experiment and benchmark harnesses."
+    ),
+    long_description_content_type="text/plain",
+    author="paper-repo-growth",
+    license="MIT",
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    install_requires=["numpy>=1.22", "scipy>=1.9"],
+    extras_require={
+        "dev": [
+            "pytest>=7",
+            "hypothesis>=6",
+            "ruff>=0.4",
+        ],
+    },
+    classifiers=[
+        "Development Status :: 3 - Alpha",
+        "Intended Audience :: Science/Research",
+        "Programming Language :: Python :: 3 :: Only",
+        "Programming Language :: Python :: 3.10",
+        "Programming Language :: Python :: 3.11",
+        "Programming Language :: Python :: 3.12",
+        "Topic :: Scientific/Engineering :: Artificial Intelligence",
+    ],
+)

@@ -1,0 +1,30 @@
+"""Benchmark runner for the DFSS kernels and the end-to-end attention layer.
+
+``python -m repro.bench`` times every registered kernel (``sddmm_nm``,
+``masked_softmax``, ``spmm``, fused ``softmax_spmm``) plus the end-to-end
+multi-head DFSS attention pipeline under both the ``reference`` and ``fast``
+backends, verifies that the backends agree numerically, and emits a
+machine-readable ``BENCH_kernels.json`` that the CI perf gate
+(``scripts/check_bench_regression.py``) diffs against the committed baseline.
+"""
+
+from repro.bench.report import (
+    SCHEMA_VERSION,
+    format_table,
+    load_payload,
+    results_to_payload,
+    write_payload,
+)
+from repro.bench.runner import BenchResult, BenchShape, SCALE_SHAPES, run_benchmarks
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "BenchResult",
+    "BenchShape",
+    "SCALE_SHAPES",
+    "format_table",
+    "load_payload",
+    "results_to_payload",
+    "run_benchmarks",
+    "write_payload",
+]

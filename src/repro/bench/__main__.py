@@ -1,0 +1,83 @@
+"""Command-line benchmark runner: ``python -m repro.bench``.
+
+Examples
+--------
+Smoke-scale run with the JSON artifact the CI perf gate consumes::
+
+    PYTHONPATH=src python -m repro.bench --output BENCH_kernels.json
+
+Larger problem, one kernel, more repeats::
+
+    PYTHONPATH=src python -m repro.bench --scale default --kernels spmm --repeats 9
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.report import format_table, results_to_payload, write_payload
+from repro.bench.runner import BENCH_KERNELS, SCALE_SHAPES, BenchShape, run_benchmarks
+from repro.core.backend import available_backends
+
+
+def _parse_shape(text: str) -> BenchShape:
+    try:
+        batch, heads, seq_len, head_dim = (int(part) for part in text.lower().split("x"))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid shape {text!r}; expected BxHxLxD, e.g. 2x4x256x64"
+        )
+    return BenchShape(batch=batch, heads=heads, seq_len=seq_len, head_dim=head_dim)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Benchmark DFSS kernels across backends and emit BENCH_kernels.json",
+    )
+    parser.add_argument("--scale", default="smoke", choices=sorted(SCALE_SHAPES),
+                        help="problem size preset (default: smoke)")
+    parser.add_argument("--shape", type=_parse_shape, default=None,
+                        help="explicit BxHxLxD problem size overriding --scale")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="timed repetitions per measurement (default: 5)")
+    parser.add_argument("--warmup", type=int, default=1,
+                        help="discarded warmup runs per measurement (default: 1)")
+    parser.add_argument("--patterns", nargs="+", default=["1:2", "2:4"],
+                        help="N:M patterns to benchmark (default: 1:2 2:4)")
+    parser.add_argument("--kernels", nargs="+", default=None, choices=BENCH_KERNELS,
+                        help="subset of kernels to benchmark (default: all)")
+    parser.add_argument("--backends", nargs="+", default=["reference", "fast"],
+                        choices=available_backends(),
+                        help="backends to time; the first is the speedup baseline")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--output", default=None, metavar="BENCH_kernels.json",
+                        help="write the machine-readable JSON artifact here")
+    parser.add_argument("--include-timings", action="store_true",
+                        help="embed raw per-repeat timings in the JSON output")
+    args = parser.parse_args(argv)
+
+    results = run_benchmarks(
+        scale=args.scale,
+        repeats=args.repeats,
+        warmup=args.warmup,
+        patterns=tuple(args.patterns),
+        backends=tuple(args.backends),
+        kernels=args.kernels,
+        seed=args.seed,
+        shape=args.shape,
+    )
+    print(format_table(results))
+    if args.output:
+        payload = results_to_payload(
+            results, scale=args.scale, repeats=args.repeats,
+            include_timings=args.include_timings,
+        )
+        write_payload(args.output, payload)
+        print(f"\nwrote {len(payload['results'])} rows to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,202 @@
+"""Timing harness comparing kernel backends at a fixed smoke/default/full scale.
+
+Every benchmark times one registered kernel (or the end-to-end attention
+pipeline) under each backend on identical inputs, reports robust order
+statistics (median / p10 / p90 over repeats), the speedup of each backend
+over ``reference``, and the relative Frobenius error between the backend's
+output and the reference output — the parity signal the CI gate refuses to
+ship without.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.attention import dfss_attention
+from repro.core.backend import REFERENCE, get_kernel
+from repro.core.patterns import resolve_pattern
+from repro.core.sddmm import sddmm_nm
+from repro.core.softmax import sparse_softmax
+from repro.utils.seeding import new_rng
+
+
+@dataclass(frozen=True)
+class BenchShape:
+    """Multi-head attention problem size: ``(batch, heads, seq_len, head_dim)``."""
+
+    batch: int
+    heads: int
+    seq_len: int
+    head_dim: int
+
+    def label(self, pattern: str) -> str:
+        return (
+            f"B{self.batch}xH{self.heads}xL{self.seq_len}xD{self.head_dim}/{pattern}"
+        )
+
+
+#: Problem sizes per experiment scale; smoke finishes in seconds on a laptop.
+SCALE_SHAPES: Dict[str, BenchShape] = {
+    "smoke": BenchShape(batch=2, heads=4, seq_len=256, head_dim=64),
+    "default": BenchShape(batch=4, heads=8, seq_len=512, head_dim=64),
+    "full": BenchShape(batch=8, heads=8, seq_len=1024, head_dim=64),
+}
+
+#: Benchmarked pipeline stages (registry kernels plus the end-to-end pipeline).
+BENCH_KERNELS = ("sddmm_nm", "masked_softmax", "spmm", "softmax_spmm", "attention_e2e")
+
+
+@dataclass
+class BenchResult:
+    """One (kernel, shape, backend) timing row of ``BENCH_kernels.json``."""
+
+    kernel: str
+    shape: str
+    backend: str
+    median_s: float
+    p10_s: float
+    p90_s: float
+    speedup: float = 1.0
+    parity_max_rel_err: Optional[float] = None
+    repeats: int = 0
+    timings_s: List[float] = field(default_factory=list)
+
+
+def _time(fn: Callable[[], object], repeats: int, warmup: int) -> List[float]:
+    for _ in range(warmup):
+        fn()
+    timings = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        timings.append(time.perf_counter() - start)
+    return timings
+
+
+def _rel_frobenius(candidate: np.ndarray, reference: np.ndarray) -> float:
+    denom = float(np.linalg.norm(reference))
+    if denom == 0.0:
+        return float(np.linalg.norm(candidate))
+    return float(np.linalg.norm(candidate - reference) / denom)
+
+
+def _bench_cases(
+    shape: BenchShape, pattern: str, rng: np.random.Generator
+) -> Dict[str, Tuple[Callable[[str], object], Callable[[object], np.ndarray]]]:
+    """Per-kernel ``(run(backend), densify(output))`` closures on shared inputs."""
+    dims = (shape.batch, shape.heads, shape.seq_len, shape.head_dim)
+    q = rng.normal(size=dims).astype(np.float32)
+    k = rng.normal(size=dims).astype(np.float32)
+    v = rng.normal(size=dims).astype(np.float32)
+    scores = sddmm_nm(q, k, pattern=pattern)
+    weights = sparse_softmax(scores)
+
+    return {
+        "sddmm_nm": (
+            lambda backend: sddmm_nm(q, k, pattern=pattern, backend=backend),
+            lambda out: out.to_dense(0.0),
+        ),
+        "masked_softmax": (
+            lambda backend: get_kernel("masked_softmax", backend)(scores),
+            lambda out: out.to_dense(0.0),
+        ),
+        "spmm": (
+            lambda backend: get_kernel("spmm", backend)(weights, v),
+            lambda out: out,
+        ),
+        "softmax_spmm": (
+            lambda backend: get_kernel("softmax_spmm", backend)(scores, v),
+            lambda out: out,
+        ),
+        "attention_e2e": (
+            lambda backend: dfss_attention(q, k, v, pattern=pattern, backend=backend),
+            lambda out: out,
+        ),
+    }
+
+
+def run_benchmarks(
+    scale: str = "smoke",
+    repeats: int = 5,
+    warmup: int = 1,
+    patterns: Sequence[str] = ("1:2", "2:4"),
+    backends: Sequence[str] = (REFERENCE, "fast"),
+    kernels: Optional[Sequence[str]] = None,
+    seed: int = 0,
+    shape: Optional[BenchShape] = None,
+) -> List[BenchResult]:
+    """Time every kernel x pattern x backend combination and check parity.
+
+    Parameters
+    ----------
+    scale:
+        One of ``smoke`` / ``default`` / ``full`` (ignored when ``shape`` is
+        given explicitly).
+    repeats, warmup:
+        Timed repetitions per measurement and discarded warmup runs.
+    patterns:
+        N:M patterns to benchmark; each gets its own problem instance.
+    backends:
+        Backends to time.  The first is treated as the speedup/parity
+        reference (``reference`` by default).
+    kernels:
+        Subset of :data:`BENCH_KERNELS` to run; all when omitted.
+    shape:
+        Explicit :class:`BenchShape` override, mainly for tests.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    if warmup < 0:
+        raise ValueError(f"warmup must be >= 0, got {warmup}")
+    if shape is None:
+        if scale not in SCALE_SHAPES:
+            raise ValueError(
+                f"unknown scale {scale!r}; expected one of {'|'.join(SCALE_SHAPES)}"
+            )
+        shape = SCALE_SHAPES[scale]
+    selected = tuple(kernels) if kernels else BENCH_KERNELS
+    unknown = set(selected) - set(BENCH_KERNELS)
+    if unknown:
+        raise ValueError(f"unknown kernels {sorted(unknown)}; expected {BENCH_KERNELS}")
+    if not backends:
+        raise ValueError("at least one backend is required")
+    baseline_backend = backends[0]
+
+    results: List[BenchResult] = []
+    for pattern in patterns:
+        resolve_pattern(pattern)  # fail fast on typos
+        rng = new_rng(seed)
+        cases = _bench_cases(shape, pattern, rng)
+        for kernel in selected:
+            run, densify = cases[kernel]
+            baseline_out = densify(run(baseline_backend))
+            baseline_median: Optional[float] = None
+            for backend in backends:
+                timings = _time(lambda: run(backend), repeats, warmup)
+                median = float(np.median(timings))
+                if backend == baseline_backend:
+                    baseline_median = median
+                    speedup = 1.0
+                    parity = None
+                else:
+                    speedup = baseline_median / median if median > 0 else float("inf")
+                    parity = _rel_frobenius(densify(run(backend)), baseline_out)
+                results.append(
+                    BenchResult(
+                        kernel=kernel,
+                        shape=shape.label(pattern),
+                        backend=backend,
+                        median_s=median,
+                        p10_s=float(np.percentile(timings, 10)),
+                        p90_s=float(np.percentile(timings, 90)),
+                        speedup=speedup,
+                        parity_max_rel_err=parity,
+                        repeats=repeats,
+                        timings_s=[float(t) for t in timings],
+                    )
+                )
+    return results

@@ -2,6 +2,10 @@
 
 This package implements the paper's primary contribution:
 
+* :mod:`repro.core.backend` — the pluggable kernel registry dispatching every
+  hot kernel to a ``reference`` (tile-by-tile/loop oracle) or ``fast``
+  (batched, loop-free) implementation, selectable per call or via
+  ``$REPRO_BACKEND``;
 * :mod:`repro.core.patterns` / :mod:`repro.core.pruning` — the dynamic N:M
   selection rule;
 * :mod:`repro.core.metadata` / :mod:`repro.core.sparse` — the compressed
@@ -16,6 +20,14 @@ This package implements the paper's primary contribution:
 """
 
 from repro.core.attention import DfssAttention, dfss_attention, full_attention
+from repro.core.backend import (
+    available_backends,
+    available_kernels,
+    get_kernel,
+    register_kernel,
+    resolve_backend,
+    use_backend,
+)
 from repro.core.blocked_ell import (
     BlockedEllMask,
     bigbird_mask,
@@ -35,12 +47,18 @@ from repro.core.pruning import nm_compress, nm_decompress, nm_prune_dense, nm_pr
 from repro.core.sddmm import sddmm_dense, sddmm_nm, sddmm_nm_tiled
 from repro.core.softmax import dense_softmax, sparse_softmax
 from repro.core.sparse import NMSparseMatrix
-from repro.core.spmm import spmm
+from repro.core.spmm import softmax_spmm, spmm
 
 __all__ = [
     "DfssAttention",
     "dfss_attention",
     "full_attention",
+    "available_backends",
+    "available_kernels",
+    "get_kernel",
+    "register_kernel",
+    "resolve_backend",
+    "use_backend",
     "BlockedEllMask",
     "bigbird_mask",
     "full_mask",
@@ -64,5 +82,6 @@ __all__ = [
     "dense_softmax",
     "sparse_softmax",
     "NMSparseMatrix",
+    "softmax_spmm",
     "spmm",
 ]

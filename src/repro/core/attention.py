@@ -22,11 +22,10 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.core.blocked_ell import BlockedEllMask
-from repro.core.patterns import NMPattern, default_pattern_for_dtype, resolve_pattern
+from repro.core.patterns import default_pattern_for_dtype, resolve_pattern
 from repro.core.sddmm import sddmm_dense, sddmm_nm
 from repro.core.softmax import dense_softmax, masked_dense_softmax, sparse_softmax
-from repro.core.sparse import NMSparseMatrix
-from repro.core.spmm import spmm
+from repro.core.spmm import softmax_spmm, spmm
 
 
 def full_attention(
@@ -75,17 +74,20 @@ def dfss_attention(
     criterion: str = "value",
     block_mask: Optional[BlockedEllMask] = None,
     return_weights: bool = False,
+    backend: Optional[str] = None,
 ):
     """Dynamic N:M fine-grained structured sparse attention (the paper's method).
 
-    Pipeline: fused SDDMM + N:M prune epilogue -> sparse softmax -> SpMM.
+    Pipeline: fused SDDMM + N:M prune epilogue -> sparse softmax -> SpMM
+    (fused into one kernel unless the weights are requested).
 
     Parameters mirror :func:`full_attention`; ``pattern`` defaults to the
     hardware pattern for ``dtype`` (1:2 for float32, 2:4 for bfloat16) and
     ``block_mask`` optionally adds the hybrid blocked-ELL coarse sparsity.
     When ``return_weights`` is true the compressed
     :class:`~repro.core.sparse.NMSparseMatrix` of attention weights is returned
-    alongside the output.
+    alongside the output.  ``backend`` selects the kernel implementations
+    ("reference" or "fast"; default ``$REPRO_BACKEND``, else "fast").
     """
     pattern = (
         default_pattern_for_dtype(dtype) if pattern is None else resolve_pattern(pattern)
@@ -98,12 +100,12 @@ def dfss_attention(
         dtype=dtype,
         criterion=criterion,
         block_mask=block_mask,
+        backend=backend,
     )
-    weights = sparse_softmax(scores)
-    out = spmm(weights, v)
     if return_weights:
-        return out, weights
-    return out
+        weights = sparse_softmax(scores, backend=backend)
+        return spmm(weights, v, backend=backend), weights
+    return softmax_spmm(scores, v, backend=backend)
 
 
 @dataclass
@@ -126,6 +128,7 @@ class DfssAttention:
     criterion: str = "value"
     scale: Optional[float] = None
     block_mask: Optional[BlockedEllMask] = None
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.pattern is None:
@@ -146,6 +149,7 @@ class DfssAttention:
             criterion=self.criterion,
             block_mask=self.block_mask,
             return_weights=return_weights,
+            backend=self.backend,
         )
 
     def approximation_error(self, q: np.ndarray, k: np.ndarray, v: np.ndarray) -> float:

@@ -1,0 +1,137 @@
+"""Pluggable kernel backend registry.
+
+The attention pipeline is built from a small number of named kernels —
+``sddmm_nm`` (fused SDDMM + N:M prune), ``masked_softmax`` (softmax over the
+compressed nonzeros), ``spmm`` (compressed-weights x dense V), the fused
+``softmax_spmm`` epilogue and the ``nm_prune_mask`` selection used by the
+trainable layer.  Each kernel can have several interchangeable
+implementations ("backends") registered against it:
+
+* ``reference`` — the tile-by-tile / per-slice loop implementations that
+  mirror the CUDA kernels' structure.  They are slow but transparent and act
+  as the numerical oracle for every other backend.
+* ``fast`` — fully batched implementations with no Python-level loops over
+  batch or head dimensions, used by default everywhere.
+
+Backend selection, in decreasing priority:
+
+1. the ``backend=...`` argument accepted by every dispatching entry point;
+2. an active :func:`use_backend` context;
+3. the ``REPRO_BACKEND`` environment variable;
+4. the default, ``"fast"``.
+
+Registering a new backend is a one-liner::
+
+    from repro.core.backend import register_kernel
+
+    @register_kernel("spmm", "gpu")
+    def spmm_gpu(weights, v):
+        ...
+
+after which ``spmm(w, v, backend="gpu")`` (or ``REPRO_BACKEND=gpu``) picks
+it up without touching any call site.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, Optional, Tuple
+
+#: Canonical backend names shipped with the repository.
+REFERENCE = "reference"
+FAST = "fast"
+KNOWN_BACKENDS = (REFERENCE, FAST)
+
+#: Backend used when neither an argument, a context, nor the environment
+#: variable selects one.
+DEFAULT_BACKEND = FAST
+
+#: Environment variable consulted by :func:`resolve_backend`.
+ENV_VAR = "REPRO_BACKEND"
+
+_REGISTRY: Dict[str, Dict[str, Callable]] = {}
+_OVERRIDE: Optional[str] = None
+
+
+def register_kernel(kernel: str, backend: str) -> Callable[[Callable], Callable]:
+    """Decorator registering ``fn`` as the ``backend`` implementation of ``kernel``."""
+
+    def decorator(fn: Callable) -> Callable:
+        _REGISTRY.setdefault(kernel, {})[backend] = fn
+        return fn
+
+    return decorator
+
+
+def available_kernels() -> Tuple[str, ...]:
+    """Names of all kernels with at least one registered backend."""
+    return tuple(sorted(_REGISTRY))
+
+
+def available_backends(kernel: Optional[str] = None) -> Tuple[str, ...]:
+    """Backends registered for ``kernel``, or across all kernels when omitted."""
+    if kernel is not None:
+        return tuple(sorted(_REGISTRY.get(kernel, {})))
+    names = set(KNOWN_BACKENDS)
+    for impls in _REGISTRY.values():
+        names.update(impls)
+    return tuple(sorted(names))
+
+
+def resolve_backend(backend: Optional[str] = None) -> str:
+    """Resolve a backend name from argument, context, environment, or default.
+
+    Raises ``ValueError`` with the list of valid names for typos such as
+    ``REPRO_BACKEND=fats``.
+    """
+    if backend is None:
+        backend = _OVERRIDE
+    if backend is None:
+        backend = os.environ.get(ENV_VAR) or DEFAULT_BACKEND
+    name = str(backend).strip().lower()
+    valid = available_backends()
+    if name not in valid:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {'|'.join(valid)} "
+            f"(selectable via a backend= argument or ${ENV_VAR})"
+        )
+    return name
+
+
+def get_kernel(kernel: str, backend: Optional[str] = None) -> Callable:
+    """Look up the implementation of ``kernel`` for the resolved ``backend``."""
+    if kernel not in _REGISTRY:
+        raise KeyError(
+            f"unknown kernel {kernel!r}; registered kernels: {available_kernels()}"
+        )
+    name = resolve_backend(backend)
+    impls = _REGISTRY[kernel]
+    if name not in impls:
+        raise ValueError(
+            f"kernel {kernel!r} has no {name!r} backend; "
+            f"available: {available_backends(kernel)}"
+        )
+    return impls[name]
+
+
+@contextmanager
+def use_backend(backend: str) -> Iterator[None]:
+    """Context manager selecting ``backend`` for every dispatch inside the block.
+
+    Explicit ``backend=`` arguments still win; the environment variable is
+    shadowed for the duration of the block.
+    """
+    global _OVERRIDE
+    name = str(backend).strip().lower()
+    valid = available_backends()
+    if name not in valid:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {'|'.join(valid)}"
+        )
+    previous = _OVERRIDE
+    _OVERRIDE = name
+    try:
+        yield
+    finally:
+        _OVERRIDE = previous

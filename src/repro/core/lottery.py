@@ -13,8 +13,6 @@ paper: Top-K, fixed (uniform), dynamic 1:2 and dynamic 2:4.
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 from scipy.special import erf, erfinv
 

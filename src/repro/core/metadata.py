@@ -16,11 +16,9 @@ layout transformations can be property-tested (the packing is a bijection).
 
 from __future__ import annotations
 
-from typing import Tuple
-
 import numpy as np
 
-from repro.core.patterns import NMPattern, PATTERN_1_2, PATTERN_2_4, resolve_pattern
+from repro.core.patterns import PATTERN_1_2, PATTERN_2_4, resolve_pattern
 
 #: Metadata nibble for each ordered pair of kept 2-byte slots in a group of 4
 #: (Figure 6(b)): code = first_index | (second_index << 2).

@@ -16,6 +16,7 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.core.backend import FAST, REFERENCE, register_kernel
 from repro.core.patterns import NMPattern, resolve_pattern
 
 #: Selection criteria supported by :func:`nm_group_topn_indices`.
@@ -107,6 +108,124 @@ def nm_compress(
         values.reshape(flat_shape).astype(np.float32),
         kept_idx.reshape(flat_shape).astype(np.int8),
     )
+
+
+# --------------------------------------------------------------- fast kernels
+#
+# The hardware patterns (1:2 and 2:4) admit branch-free selection networks
+# that replace the generic per-group argsort with a handful of vectorised
+# comparisons.  Tie-breaking matches :func:`nm_group_topn_indices` exactly
+# (equal keys keep the lower index), so the fast path is bit-identical to the
+# reference on any input with a defined ordering (ties, blocked-ELL
+# sentinels, and infinities included; only NaN scores are unspecified, as
+# they already are for the argsort reference).
+#
+# Values are re-assembled by multiplying the *bit patterns* (viewed as
+# uint32) with the boolean selection masks instead of ``np.where``, which
+# avoids both np.where's slow multi-operand buffering and any float
+# arithmetic on the selected values (``0 * inf`` would poison a float
+# formulation).
+
+
+def _group_columns(groups: np.ndarray):
+    """Contiguous copies of the M columns of ``(..., G, M)`` groups."""
+    return tuple(np.ascontiguousarray(groups[..., i]) for i in range(groups.shape[-1]))
+
+
+def _keep_bools_24(key: np.ndarray):
+    """Per-column survival masks for a 2:4 pattern, ``key`` shaped ``(..., G, 4)``.
+
+    Element ``i`` "beats" element ``j`` when it wins the reference tie-break:
+    ``key_i >= key_j`` for ``i < j`` and ``key_i > key_j`` for ``i > j``.  The
+    beats relation is a total order, so counting wins ranks the group and the
+    top-2 are exactly the entries with at least two wins.
+    """
+    a, b, c, d = _group_columns(key)
+    ab = a >= b
+    ac = a >= c
+    ad = a >= d
+    bc = b >= c
+    bd = b >= d
+    cd = c >= d
+    one = np.uint8(1)
+    keep_a = (ab.view(np.uint8) + ac + ad) >= 2
+    keep_b = ((one - ab) + bc + bd) >= 2
+    keep_c = ((one - ac) + (one - bc) + cd) >= 2
+    keep_d = ((one - ad) + (one - bd) + (one - cd)) >= 2
+    return keep_a, keep_b, keep_c, keep_d
+
+
+def _compress_fast_12(groups: np.ndarray, key: np.ndarray):
+    take_second = key[..., 1] > key[..., 0]
+    a, b = _group_columns(groups)
+    bits = b.view(np.uint32) * take_second + a.view(np.uint32) * ~take_second
+    return bits.view(np.float32)[..., None], take_second.view(np.int8)[..., None]
+
+
+def _compress_fast_24(groups: np.ndarray, key: np.ndarray):
+    keep_a, keep_b, keep_c, keep_d = _keep_bools_24(key)
+    # kept indices in ascending order: the first kept entry is a if a
+    # survives, else b if b survives, else it must be c; symmetrically for
+    # the second kept entry from the high end.
+    first_b = keep_b & ~keep_a
+    first_c = ~(keep_a | keep_b)
+    last_c = keep_c & ~keep_d
+    last_b = ~(keep_c | keep_d)
+    a, b, c, d = (col.view(np.uint32) for col in _group_columns(groups))
+    v0 = (a * keep_a + b * first_b + c * first_c).view(np.float32)
+    v1 = (d * keep_d + c * last_c + b * last_b).view(np.float32)
+    i0 = (~keep_a).view(np.uint8) + first_c
+    i1 = np.uint8(1) + (keep_d.view(np.uint8) << 1) + last_c
+    values = np.stack([v0, v1], axis=-1)
+    indices = np.stack([i0, i1], axis=-1).view(np.int8)
+    return values, indices
+
+
+def nm_compress_fast(
+    x: np.ndarray, pattern, criterion: str = "value"
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Drop-in replacement for :func:`nm_compress` using selection networks.
+
+    Specialised for the hardware 1:2 and 2:4 patterns; any other pattern
+    falls back to the generic argsort-based :func:`nm_compress`.
+    """
+    pattern = resolve_pattern(pattern)
+    if (pattern.n, pattern.m) not in ((1, 2), (2, 4)):
+        return nm_compress(x, pattern, criterion)
+    groups = _group_view(x, pattern)
+    key = _selection_key(groups, criterion)
+    if pattern.m == 2:
+        values, indices = _compress_fast_12(groups, key)
+    else:
+        values, indices = _compress_fast_24(groups, key)
+    flat_shape = x.shape[:-1] + (pattern.kept(x.shape[-1]),)
+    return values.reshape(flat_shape), indices.reshape(flat_shape)
+
+
+@register_kernel("nm_prune_mask", FAST)
+def nm_prune_mask_fast(x: np.ndarray, pattern, criterion: str = "value") -> np.ndarray:
+    """Drop-in replacement for :func:`nm_prune_mask` using selection networks."""
+    pattern = resolve_pattern(pattern)
+    if (pattern.n, pattern.m) not in ((1, 2), (2, 4)):
+        return nm_prune_mask(x, pattern, criterion)
+    x = np.asarray(x, dtype=np.float32)
+    groups = _group_view(x, pattern)
+    key = _selection_key(groups, criterion)
+    mask = np.empty(groups.shape, dtype=bool)
+    if pattern.m == 2:
+        take_second = key[..., 1] > key[..., 0]
+        mask[..., 0] = ~take_second
+        mask[..., 1] = take_second
+    else:
+        keep_a, keep_b, keep_c, keep_d = _keep_bools_24(key)
+        mask[..., 0] = keep_a
+        mask[..., 1] = keep_b
+        mask[..., 2] = keep_c
+        mask[..., 3] = keep_d
+    return mask.reshape(x.shape)
+
+
+register_kernel("nm_prune_mask", REFERENCE)(nm_prune_mask)
 
 
 def nm_decompress(

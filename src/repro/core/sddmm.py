@@ -7,10 +7,15 @@ the compressed nonzeros + metadata.  Functionally this is
 
     ``sddmm_nm(Q, K) == NMSparseMatrix.from_dense(Q @ K.T * scale)``
 
-which is exactly what :func:`sddmm_nm` implements in vectorised NumPy.  A
-second, tile-by-tile implementation (:func:`sddmm_nm_tiled`) mirrors the CUDA
-kernel's blocking (Mtile x Ntile thread-block tiles, 32 x 64-byte epilogue
-tiles) and doubles as the traffic-count oracle for the performance model.
+Two backends are registered with :mod:`repro.core.backend`:
+
+* ``reference`` — loops over batch/head slices and runs the tile-by-tile
+  kernel (:func:`sddmm_nm_tiled`) that mirrors the CUDA kernel's blocking
+  (Mtile x Ntile thread-block tiles, 32 x 64-byte epilogue tiles) and doubles
+  as the traffic-count oracle for the performance model;
+* ``fast`` — a single batched tensor contraction over all ``(B, H)`` slices
+  followed by the vectorised selection-network compress
+  (:func:`repro.core.pruning.nm_compress_fast`), with no Python-level loops.
 """
 
 from __future__ import annotations
@@ -20,12 +25,17 @@ from typing import Optional
 
 import numpy as np
 
+from repro.core.backend import FAST, REFERENCE, get_kernel, register_kernel
 from repro.core.blocked_ell import BlockedEllMask
-from repro.core.patterns import NMPattern, default_pattern_for_dtype, resolve_pattern
+from repro.core.patterns import default_pattern_for_dtype, resolve_pattern
 from repro.core.precision import dtype_bytes, simulate_tensor_core_matmul
-from repro.core.pruning import nm_compress
+from repro.core.pruning import nm_compress, nm_compress_fast
 from repro.core.sparse import NMSparseMatrix
 from repro.utils.shapes import as_batched_3d, restore_batch_shape
+
+#: Sentinel written to score positions excluded by a blocked-ELL mask; large
+#: and negative so the sparse softmax assigns them exactly zero weight.
+MASKED_SCORE = np.float32(-1e30)
 
 
 @dataclass
@@ -60,6 +70,7 @@ def sddmm_nm(
     dtype: str = "float32",
     criterion: str = "value",
     block_mask: Optional[BlockedEllMask] = None,
+    backend: Optional[str] = None,
 ) -> NMSparseMatrix:
     """Compute ``scale * Q Kᵀ`` and prune it to N:M sparsity in one step.
 
@@ -81,11 +92,36 @@ def sddmm_nm(
         Optional hybrid blocked-ELL mask; score blocks outside the mask are
         never computed and their groups keep the first N entries with value
         ``-inf`` replaced by a large negative number so softmax ignores them.
+    backend:
+        Kernel backend ("reference" or "fast"); defaults to the value of
+        ``$REPRO_BACKEND``, else "fast".
 
     Returns
     -------
     :class:`~repro.core.sparse.NMSparseMatrix` of shape ``(..., seq_q, seq_k)``.
     """
+    return get_kernel("sddmm_nm", backend)(
+        q,
+        k,
+        pattern=pattern,
+        scale=scale,
+        dtype=dtype,
+        criterion=criterion,
+        block_mask=block_mask,
+    )
+
+
+@register_kernel("sddmm_nm", FAST)
+def _sddmm_nm_fast(
+    q: np.ndarray,
+    k: np.ndarray,
+    pattern=None,
+    scale: Optional[float] = None,
+    dtype: str = "float32",
+    criterion: str = "value",
+    block_mask: Optional[BlockedEllMask] = None,
+) -> NMSparseMatrix:
+    """Batched SDDMM + prune: one contraction and one vectorised compress."""
     q3, k3, batch_shape = _prepare_inputs(q, k)
     d = q3.shape[-1]
     if scale is None:
@@ -96,8 +132,8 @@ def sddmm_nm(
     scores = simulate_tensor_core_matmul(q3, np.swapaxes(k3, -1, -2), dtype) * scale
     if block_mask is not None:
         dense_mask = block_mask.dense_mask(scores.shape[-2], scores.shape[-1])
-        scores = np.where(dense_mask, scores, np.float32(-1e30))
-    values, indices = nm_compress(scores, pattern, criterion)
+        scores = np.where(dense_mask, scores, MASKED_SCORE)
+    values, indices = nm_compress_fast(scores, pattern, criterion)
     values = restore_batch_shape(values, batch_shape)
     indices = restore_batch_shape(indices, batch_shape)
     return NMSparseMatrix(
@@ -105,6 +141,44 @@ def sddmm_nm(
         indices=indices,
         pattern=pattern,
         dense_cols=scores.shape[-1],
+        dtype=dtype,
+    )
+
+
+@register_kernel("sddmm_nm", REFERENCE)
+def _sddmm_nm_reference(
+    q: np.ndarray,
+    k: np.ndarray,
+    pattern=None,
+    scale: Optional[float] = None,
+    dtype: str = "float32",
+    criterion: str = "value",
+    block_mask: Optional[BlockedEllMask] = None,
+) -> NMSparseMatrix:
+    """Per-slice tile-by-tile SDDMM: batching is a Python loop, as ``blockIdx.z``."""
+    q3, k3, batch_shape = _prepare_inputs(q, k)
+    pattern = (
+        default_pattern_for_dtype(dtype) if pattern is None else resolve_pattern(pattern)
+    )
+    slices = [
+        sddmm_nm_tiled(
+            q3[b],
+            k3[b],
+            pattern=pattern,
+            scale=scale,
+            dtype=dtype,
+            criterion=criterion,
+            block_mask=block_mask,
+        )
+        for b in range(q3.shape[0])
+    ]
+    values = restore_batch_shape(np.stack([s.values for s in slices]), batch_shape)
+    indices = restore_batch_shape(np.stack([s.indices for s in slices]), batch_shape)
+    return NMSparseMatrix(
+        values=values,
+        indices=indices,
+        pattern=pattern,
+        dense_cols=k3.shape[-2],
         dtype=dtype,
     )
 
@@ -135,6 +209,7 @@ def sddmm_nm_tiled(
     ntile: int = 128,
     ktile: int = 32,
     traffic: Optional[SddmmTraffic] = None,
+    block_mask: Optional[BlockedEllMask] = None,
 ) -> NMSparseMatrix:
     """Tile-by-tile SDDMM mirroring the CUDA kernel's blocking.
 
@@ -160,12 +235,14 @@ def sddmm_nm_tiled(
         default_pattern_for_dtype(dtype) if pattern is None else resolve_pattern(pattern)
     )
     pattern.validate_length(n_k)
+    dense_mask = None
+    if block_mask is not None:
+        dense_mask = block_mask.dense_mask(n_q, n_k)
 
     elem = dtype_bytes(dtype)
     kept_total = pattern.kept(n_k)
     values = np.empty((n_q, kept_total), dtype=np.float32)
     indices = np.empty((n_q, kept_total), dtype=np.int8)
-    kept_per_tile_cols = None
 
     for i0 in range(0, n_q, mtile):
         i1 = min(i0 + mtile, n_q)
@@ -186,10 +263,11 @@ def sddmm_nm_tiled(
                 if traffic is not None:
                     traffic.bytes_read += a_frag.size * elem + b_frag.size * elem
             acc *= scale
+            if dense_mask is not None:
+                acc = np.where(dense_mask[i0:i1, j0:j1], acc, MASKED_SCORE)
             # epilogue: prune the tile while it is still "in registers"
             tile_vals, tile_idx = nm_compress(acc, pattern, criterion)
             kept_cols = tile_vals.shape[-1]
-            kept_per_tile_cols = kept_cols
             out_j0 = pattern.kept(j0)
             values[i0:i1, out_j0 : out_j0 + kept_cols] = tile_vals
             indices[i0:i1, out_j0 : out_j0 + kept_cols] = tile_idx
@@ -199,7 +277,6 @@ def sddmm_nm_tiled(
                 groups = (j1 - j0) // pattern.m * (i1 - i0)
                 traffic.bytes_written += groups * pattern.metadata_bits_per_group // 8
 
-    del kept_per_tile_cols
     return NMSparseMatrix(
         values=values,
         indices=indices,

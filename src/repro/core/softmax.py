@@ -5,14 +5,20 @@ softmax that follows the SDDMM touches half as much data (Section 3.2: "the
 succeeding softmax is also accelerated").  The sparse variant normalises over
 the *stored* entries only, which is mathematically identical to a dense
 softmax whose pruned logits were set to ``-inf``.
+
+The sparse softmax is registered as the ``masked_softmax`` kernel with two
+backends: ``reference`` (row-chunked loop, mirroring the long-sequence CUDA
+implementation of Appendix A.4) and ``fast`` (one vectorised pass over all
+batch/head slices).
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.core.backend import FAST, REFERENCE, get_kernel, register_kernel
 from repro.core.sparse import NMSparseMatrix
 
 #: Values at or below this threshold are treated as masked-out logits (they
@@ -44,21 +50,47 @@ def masked_dense_softmax(
     return exp / denom
 
 
-def sparse_softmax(scores: NMSparseMatrix) -> NMSparseMatrix:
-    """Row softmax over the stored nonzeros of an N:M-compressed score matrix.
+def masked_exp_terms(values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Unnormalised softmax numerator and denominator over stored nonzeros.
 
-    Entries produced by blocked-ELL masking (values ≤ ``MASKED_LOGIT_THRESHOLD``)
-    are excluded from the normalisation and receive exactly zero weight.
+    Returns ``(exp, denom)`` where ``exp`` holds the max-subtracted
+    exponentials (zero at masked-logit positions) and ``denom`` their row sums
+    with fully-masked rows clamped to one.  ``exp / denom`` is the softmax;
+    keeping the terms separate lets the fused softmax+SpMM kernel normalise
+    *after* the value contraction and skip materialising the probabilities.
     """
-    vals = scores.values
-    masked = vals <= MASKED_LOGIT_THRESHOLD
-    safe_vals = np.where(masked, -np.inf, vals)
+    masked = values <= MASKED_LOGIT_THRESHOLD
+    safe_vals = np.where(masked, -np.inf, values)
     row_max = np.max(safe_vals, axis=-1, keepdims=True)
     row_max = np.where(np.isfinite(row_max), row_max, 0.0)
     exp = np.where(masked, 0.0, np.exp(safe_vals - row_max))
     denom = np.sum(exp, axis=-1, keepdims=True)
     denom = np.where(denom == 0.0, 1.0, denom)
+    return exp, denom
+
+
+def sparse_softmax(scores: NMSparseMatrix, backend: Optional[str] = None) -> NMSparseMatrix:
+    """Row softmax over the stored nonzeros of an N:M-compressed score matrix.
+
+    Entries produced by blocked-ELL masking (values ≤ ``MASKED_LOGIT_THRESHOLD``)
+    are excluded from the normalisation and receive exactly zero weight.
+    ``backend`` selects the registered ``masked_softmax`` implementation
+    (default: ``$REPRO_BACKEND``, else "fast").
+    """
+    return get_kernel("masked_softmax", backend)(scores)
+
+
+@register_kernel("masked_softmax", FAST)
+def _sparse_softmax_fast(scores: NMSparseMatrix) -> NMSparseMatrix:
+    """One vectorised pass over every batch/head slice at once."""
+    exp, denom = masked_exp_terms(scores.values)
     return scores.with_values(exp / denom)
+
+
+@register_kernel("masked_softmax", REFERENCE)
+def _sparse_softmax_reference(scores: NMSparseMatrix) -> NMSparseMatrix:
+    """Row-chunked loop implementation (the Appendix A.4 structure)."""
+    return sparse_softmax_streaming(scores)
 
 
 def sparse_softmax_streaming(scores: NMSparseMatrix, chunk_rows: int = 1024) -> NMSparseMatrix:
@@ -73,13 +105,6 @@ def sparse_softmax_streaming(scores: NMSparseMatrix, chunk_rows: int = 1024) -> 
     out = np.empty_like(flat)
     for start in range(0, flat.shape[0], chunk_rows):
         stop = min(start + chunk_rows, flat.shape[0])
-        chunk = flat[start:stop]
-        masked = chunk <= MASKED_LOGIT_THRESHOLD
-        safe = np.where(masked, -np.inf, chunk)
-        row_max = np.max(safe, axis=-1, keepdims=True)
-        row_max = np.where(np.isfinite(row_max), row_max, 0.0)
-        exp = np.where(masked, 0.0, np.exp(safe - row_max))
-        denom = np.sum(exp, axis=-1, keepdims=True)
-        denom = np.where(denom == 0.0, 1.0, denom)
+        exp, denom = masked_exp_terms(flat[start:stop])
         out[start:stop] = exp / denom
     return scores.with_values(out.reshape(vals.shape))

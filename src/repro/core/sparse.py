@@ -12,8 +12,8 @@ footprint, which feeds the performance model in :mod:`repro.gpusim`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from dataclasses import dataclass
+from typing import Tuple
 
 import numpy as np
 

@@ -1,10 +1,22 @@
 """SpMM: multiply an N:M-compressed attention-weight matrix with dense V.
 
 On the A100 this is the ``mma.sp`` sparse-tensor-core instruction consuming
-the (nonzeros, metadata) pair produced by the SDDMM epilogue.  Here the same
-contraction is expressed as a vectorised gather-and-matmul in NumPy; the
-performance benefit of the sparse tensor core is carried by the device model
-in :mod:`repro.gpusim`, while this module provides the exact numerics.
+the (nonzeros, metadata) pair produced by the SDDMM epilogue.  Two backends
+carry the same contraction here:
+
+* ``reference`` — a per-slice Python loop that gathers the addressed rows of
+  V and contracts them with an einsum, mirroring how each thread block walks
+  its metadata;
+* ``fast`` — a single batched pass that scatters the compressed nonzeros into
+  a zeroed dense tile and hands the contraction to BLAS, the CPU stand-in for
+  the sparse tensor core.  The scatter touches only the ``N/M`` stored
+  entries, and the performance benefit of skipping the pruned half on real
+  hardware is carried by the device model in :mod:`repro.gpusim`.
+
+The fused ``softmax_spmm`` kernel additionally folds the sparse softmax into
+the SpMM: the value contraction runs on the unnormalised exponentials and the
+row denominators are divided out of the (much smaller) output, so the
+normalised probability matrix is never materialised.
 """
 
 from __future__ import annotations
@@ -13,25 +25,14 @@ from typing import Optional
 
 import numpy as np
 
+from repro.core.backend import FAST, REFERENCE, get_kernel, register_kernel
+from repro.core.softmax import masked_exp_terms
 from repro.core.sparse import NMSparseMatrix
 from repro.utils.shapes import as_batched_3d, restore_batch_shape
 
 
-def spmm(weights: NMSparseMatrix, v: np.ndarray) -> np.ndarray:
-    """Compute ``A_sparse @ V`` where ``A_sparse`` is N:M compressed.
-
-    Parameters
-    ----------
-    weights:
-        Compressed attention-weight matrix of dense shape ``(..., n_q, n_k)``.
-    v:
-        Dense value matrix of shape ``(..., n_k, d_v)`` with a matching batch
-        shape.
-
-    Returns
-    -------
-    Dense ``(..., n_q, d_v)`` output.
-    """
+def _check_operands(weights: NMSparseMatrix, v: np.ndarray) -> np.ndarray:
+    """Validate the sparse/dense operand pair and return V as float32."""
     v = np.asarray(v, dtype=np.float32)
     if v.shape[:-2] != weights.batch_shape:
         raise ValueError(
@@ -42,13 +43,39 @@ def spmm(weights: NMSparseMatrix, v: np.ndarray) -> np.ndarray:
             f"V rows ({v.shape[-2]}) must equal the dense column count "
             f"({weights.dense_cols}) of the sparse matrix"
         )
+    return v
 
+
+def spmm(weights: NMSparseMatrix, v: np.ndarray, backend: Optional[str] = None) -> np.ndarray:
+    """Compute ``A_sparse @ V`` where ``A_sparse`` is N:M compressed.
+
+    Parameters
+    ----------
+    weights:
+        Compressed attention-weight matrix of dense shape ``(..., n_q, n_k)``.
+    v:
+        Dense value matrix of shape ``(..., n_k, d_v)`` with a matching batch
+        shape.
+    backend:
+        Kernel backend ("reference" or "fast"); defaults to the value of
+        ``$REPRO_BACKEND``, else "fast".
+
+    Returns
+    -------
+    Dense ``(..., n_q, d_v)`` output.
+    """
+    return get_kernel("spmm", backend)(weights, v)
+
+
+@register_kernel("spmm", REFERENCE)
+def _spmm_reference(weights: NMSparseMatrix, v: np.ndarray) -> np.ndarray:
+    """Per-slice gather + einsum, one Python iteration per batch/head slice."""
+    v = _check_operands(weights, v)
     vals3, batch_shape = as_batched_3d(weights.values)
-    cols = weights.column_indices()
-    cols3, _ = as_batched_3d(cols)
+    cols3, _ = as_batched_3d(weights.column_indices())
     v3, _ = as_batched_3d(v)
 
-    batch, n_q, kept = vals3.shape
+    batch, n_q, _ = vals3.shape
     d_v = v3.shape[-1]
     out = np.empty((batch, n_q, d_v), dtype=np.float32)
     for b in range(batch):
@@ -56,6 +83,61 @@ def spmm(weights: NMSparseMatrix, v: np.ndarray) -> np.ndarray:
         gathered = v3[b][cols3[b]]
         out[b] = np.einsum("qk,qkd->qd", vals3[b], gathered, optimize=True)
     return restore_batch_shape(out, batch_shape)
+
+
+def _scatter_matmul(values: np.ndarray, structure: NMSparseMatrix, v3: np.ndarray) -> np.ndarray:
+    """Scatter compressed ``values`` into a dense tile and contract with BLAS.
+
+    ``values`` shares the sparsity ``structure`` (column metadata and dense
+    width); ``v3`` is the already-flattened ``(B, n_k, d_v)`` value matrix.
+    """
+    vals3, _ = as_batched_3d(values)
+    cols3, _ = as_batched_3d(structure.column_indices())
+    dense = np.zeros(vals3.shape[:-1] + (structure.dense_cols,), dtype=np.float32)
+    np.put_along_axis(dense, cols3, vals3, axis=-1)
+    return np.matmul(dense, v3)
+
+
+@register_kernel("spmm", FAST)
+def _spmm_fast(weights: NMSparseMatrix, v: np.ndarray) -> np.ndarray:
+    """Batched scatter + BLAS contraction, no Python-level loops."""
+    v = _check_operands(weights, v)
+    v3, batch_shape = as_batched_3d(v)
+    out = _scatter_matmul(weights.values, weights, v3)
+    return restore_batch_shape(out, batch_shape)
+
+
+def softmax_spmm(
+    scores: NMSparseMatrix, v: np.ndarray, backend: Optional[str] = None
+) -> np.ndarray:
+    """Sparse softmax over compressed ``scores`` fused with the SpMM against ``v``.
+
+    Numerically identical to ``spmm(sparse_softmax(scores), v)``; the fast
+    backend never materialises the normalised probability matrix.
+    """
+    return get_kernel("softmax_spmm", backend)(scores, v)
+
+
+@register_kernel("softmax_spmm", REFERENCE)
+def _softmax_spmm_reference(scores: NMSparseMatrix, v: np.ndarray) -> np.ndarray:
+    """Unfused oracle: chunked sparse softmax followed by the loop SpMM."""
+    weights = get_kernel("masked_softmax", REFERENCE)(scores)
+    return _spmm_reference(weights, v)
+
+
+@register_kernel("softmax_spmm", FAST)
+def _softmax_spmm_fast(scores: NMSparseMatrix, v: np.ndarray) -> np.ndarray:
+    """Fused path: contract the unnormalised exponentials, then divide once.
+
+    ``softmax(s) @ V == (exp(s - max) @ V) / rowsum(exp(s - max))`` row by
+    row, so the division moves from the ``(..., n_q, kept)`` probability
+    matrix to the ``(..., n_q, d_v)`` output.
+    """
+    v = _check_operands(scores, v)
+    v3, batch_shape = as_batched_3d(v)
+    exp, denom = masked_exp_terms(scores.values)
+    out = _scatter_matmul(exp, scores, v3)
+    return restore_batch_shape(out, batch_shape) / denom
 
 
 def spmm_dense_reference(weights: NMSparseMatrix, v: np.ndarray) -> np.ndarray:

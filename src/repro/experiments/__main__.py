@@ -14,9 +14,11 @@ Run one experiment at a given scale::
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 import time
 
+from repro.core.backend import available_backends, use_backend
 from repro.experiments.registry import EXPERIMENTS, get_experiment, list_experiments
 
 
@@ -26,6 +28,9 @@ def main(argv=None) -> int:
                         help=f"experiment ids to run (default: all). Available: {list_experiments()}")
     parser.add_argument("--scale", default=None, choices=["smoke", "default", "full"],
                         help="experiment scale (overrides $REPRO_SCALE)")
+    parser.add_argument("--backend", default=None, choices=available_backends(),
+                        help="kernel backend for every dispatched kernel "
+                             "(overrides $REPRO_BACKEND; default: fast)")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--list", action="store_true", help="list experiments and exit")
     args = parser.parse_args(argv)
@@ -39,7 +44,9 @@ def main(argv=None) -> int:
     for key in keys:
         exp = get_experiment(key)
         start = time.time()
-        result = exp.run(scale=args.scale, seed=args.seed)
+        # use_backend() contexts are single-use, so build one per experiment
+        with use_backend(args.backend) if args.backend else contextlib.nullcontext():
+            result = exp.run(scale=args.scale, seed=args.seed)
         elapsed = time.time() - start
         print(exp.format_result(result))
         print(f"[{key} finished in {elapsed:.1f}s]\n")

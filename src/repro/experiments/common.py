@@ -6,8 +6,6 @@ import os
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-import numpy as np
-
 from repro.data.image import ImageClsConfig
 from repro.data.listops import ListOpsConfig
 from repro.data.mlm import SynthMLMConfig

@@ -12,8 +12,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-import numpy as np
-
 from repro.core import theory
 from repro.experiments.common import resolve_scale
 from repro.gpusim.attention_latency import AttentionConfig, attention_speedup

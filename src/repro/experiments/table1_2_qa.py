@@ -14,8 +14,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-import numpy as np
-
 from repro.data.qa import generate_qa_dataset, train_test_split
 from repro.experiments.common import build_encoder, model_scale, qa_config, resolve_scale
 from repro.nn.trainer import Trainer, evaluate_span_qa

@@ -13,7 +13,6 @@ roughly tracks during inference.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 from typing import Dict
 
 from repro.core.precision import dtype_bytes

@@ -16,7 +16,7 @@ head dimension, ...) so mechanism models in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List
 
 from repro.core.precision import dtype_bytes

@@ -28,10 +28,10 @@ from repro.baselines.longformer import longformer_mask
 from repro.baselines.reformer import ReformerAttention
 from repro.baselines.routing import RoutingTransformerAttention
 from repro.baselines.sinkhorn import SinkhornAttention
+from repro.core.backend import get_kernel
 from repro.core.blocked_ell import bigbird_mask
 from repro.core.lottery import topk_mask
 from repro.core.patterns import resolve_pattern
-from repro.core.pruning import nm_prune_mask
 from repro.nn import functional as F
 from repro.nn.autograd import Tensor
 from repro.nn.layers import Dropout, Linear, Module
@@ -78,15 +78,21 @@ class MaskedScoreCore(AttentionCore):
 
 
 class DfssCore(MaskedScoreCore):
-    """Dynamic N:M pruning of the score matrix (the paper's mechanism)."""
+    """Dynamic N:M pruning of the score matrix (the paper's mechanism).
+
+    The N:M selection (which the graph treats as a constant) is dispatched
+    through the kernel registry, so training and evaluation transparently use
+    the fast selection-network kernel unless ``backend`` pins a specific one.
+    """
 
     name = "dfss"
 
-    def __init__(self, pattern="2:4"):
+    def __init__(self, pattern="2:4", backend: Optional[str] = None):
         self.pattern = resolve_pattern(pattern)
+        self.backend = backend
 
     def _mask(self, scores, q, k):
-        return nm_prune_mask(scores, self.pattern)
+        return get_kernel("nm_prune_mask", self.backend)(scores, self.pattern)
 
 
 class TopKCore(MaskedScoreCore):
@@ -221,10 +227,12 @@ class NystromformerCore(AttentionCore):
 
     name = "nystromformer"
 
-    def __init__(self, num_landmarks: int = 32, pinv_iters: int = 6, dfss_pattern=None):
+    def __init__(self, num_landmarks: int = 32, pinv_iters: int = 6, dfss_pattern=None,
+                 backend: Optional[str] = None):
         self.num_landmarks = num_landmarks
         self.pinv_iters = pinv_iters
         self.dfss_pattern = resolve_pattern(dfss_pattern) if dfss_pattern else None
+        self.backend = backend
 
     def _landmarks(self, x: Tensor) -> Tensor:
         n = x.shape[-2]
@@ -252,7 +260,7 @@ class NystromformerCore(AttentionCore):
     def _softmax_kernel(self, a: Tensor, b: Tensor, scale: float, prune: bool) -> Tensor:
         scores = (a @ b.swapaxes(-1, -2)) * scale
         if prune and self.dfss_pattern is not None:
-            mask = nm_prune_mask(scores.data, self.dfss_pattern)
+            mask = get_kernel("nm_prune_mask", self.backend)(scores.data, self.dfss_pattern)
             return F.masked_softmax(scores, mask, axis=-1)
         return F.softmax(scores, axis=-1)
 

@@ -20,7 +20,6 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.nn.autograd import Tensor
 from repro.nn.functional import perplexity_from_loss
 from repro.nn.layers import Module
 from repro.nn.optim import Adam, clip_grad_norm

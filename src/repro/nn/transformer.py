@@ -9,7 +9,7 @@ feed-forward blocks, and a task head on top.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List
 
 import numpy as np
 

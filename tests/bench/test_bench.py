@@ -1,0 +1,182 @@
+"""Tests for the benchmark runner, its JSON artifact, and the CI perf gate."""
+
+import copy
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench import (
+    SCHEMA_VERSION,
+    BenchShape,
+    format_table,
+    load_payload,
+    results_to_payload,
+    run_benchmarks,
+    write_payload,
+)
+from repro.bench.runner import BENCH_KERNELS
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+TINY = BenchShape(batch=1, heads=2, seq_len=32, head_dim=16)
+
+
+def _load_gate():
+    path = REPO_ROOT / "scripts" / "check_bench_regression.py"
+    spec = importlib.util.spec_from_file_location("check_bench_regression", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def tiny_results():
+    return run_benchmarks(repeats=2, warmup=0, patterns=("2:4",), shape=TINY)
+
+
+class TestRunner:
+    def test_rows_cover_kernels_and_backends(self, tiny_results):
+        combos = {(r.kernel, r.backend) for r in tiny_results}
+        assert combos == {(k, b) for k in BENCH_KERNELS for b in ("reference", "fast")}
+
+    def test_reference_rows_are_the_baseline(self, tiny_results):
+        for r in tiny_results:
+            if r.backend == "reference":
+                assert r.speedup == 1.0
+                assert r.parity_max_rel_err is None
+            else:
+                assert r.speedup > 0
+                assert r.parity_max_rel_err is not None
+                assert r.parity_max_rel_err < 1e-2
+
+    def test_timings_are_positive(self, tiny_results):
+        for r in tiny_results:
+            assert 0 < r.p10_s <= r.median_s <= r.p90_s
+            assert len(r.timings_s) == 2
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError, match="unknown scale"):
+            run_benchmarks(scale="gigantic")
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernels"):
+            run_benchmarks(kernels=["warp_drive"], shape=TINY)
+
+
+class TestReport:
+    def test_payload_roundtrip(self, tiny_results, tmp_path):
+        payload = results_to_payload(tiny_results, scale="smoke", repeats=2)
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["shape"] == "B1xH2xL32xD16"
+        assert len(payload["results"]) == len(tiny_results)
+        for row in payload["results"]:
+            assert set(row) == {
+                "kernel", "shape", "backend", "median_s", "p10_s", "p90_s",
+                "speedup", "parity_max_rel_err",
+            }
+        out = tmp_path / "BENCH_kernels.json"
+        write_payload(out, payload)
+        assert load_payload(out) == json.loads(out.read_text())
+
+    def test_load_rejects_other_schema(self, tmp_path):
+        out = tmp_path / "bad.json"
+        out.write_text(json.dumps({"schema_version": 99, "results": []}))
+        with pytest.raises(ValueError, match="schema_version"):
+            load_payload(out)
+
+    def test_format_table_mentions_every_kernel(self, tiny_results):
+        table = format_table(tiny_results)
+        for kernel in BENCH_KERNELS:
+            assert kernel in table
+
+    def test_cli_writes_artifact(self, tmp_path, capsys):
+        from repro.bench.__main__ import main
+
+        out = tmp_path / "BENCH_kernels.json"
+        rc = main([
+            "--shape", "1x2x32x16", "--repeats", "1", "--warmup", "0",
+            "--patterns", "2:4", "--kernels", "spmm", "--output", str(out),
+        ])
+        assert rc == 0
+        payload = load_payload(out)
+        assert {row["kernel"] for row in payload["results"]} == {"spmm"}
+        assert "spmm" in capsys.readouterr().out
+
+
+class TestPerfGate:
+    @pytest.fixture()
+    def payloads(self, tiny_results):
+        payload = results_to_payload(tiny_results, scale="smoke", repeats=2)
+        return payload, copy.deepcopy(payload)
+
+    def test_identical_payloads_pass(self, payloads):
+        gate = _load_gate()
+        base, fresh = payloads
+        failures, _ = gate.check(fresh, base, min_e2e_speedup=0.0)
+        assert failures == []
+
+    def test_parity_mismatch_fails(self, payloads):
+        gate = _load_gate()
+        base, fresh = payloads
+        for row in fresh["results"]:
+            if row["backend"] == "fast" and row["kernel"] == "spmm":
+                row["parity_max_rel_err"] = 0.5
+        failures, _ = gate.check(fresh, base, min_e2e_speedup=0.0)
+        assert any("parity" in f for f in failures)
+
+    def test_single_kernel_slowdown_fails(self, payloads):
+        gate = _load_gate()
+        base, fresh = payloads
+        for row in fresh["results"]:
+            if row["kernel"] == "spmm" and row["backend"] == "fast":
+                # a real 10x regression moves both the median and the speedup
+                row["median_s"] *= 10.0
+                row["speedup"] /= 10.0
+        failures, _ = gate.check(fresh, base, min_e2e_speedup=0.0)
+        assert any("slowdown" in f or "speedup" in f for f in failures)
+
+    def test_uniform_machine_slowdown_passes(self, payloads):
+        gate = _load_gate()
+        base, fresh = payloads
+        for row in fresh["results"]:
+            row["median_s"] *= 3.0
+            row["p10_s"] *= 3.0
+            row["p90_s"] *= 3.0
+        failures, _ = gate.check(fresh, base, min_e2e_speedup=0.0)
+        assert failures == []
+
+    def test_missing_row_fails_coverage(self, payloads):
+        gate = _load_gate()
+        base, fresh = payloads
+        fresh["results"] = [r for r in fresh["results"] if r["kernel"] != "sddmm_nm"]
+        failures, _ = gate.check(fresh, base, min_e2e_speedup=0.0)
+        assert any("coverage" in f for f in failures)
+
+    def test_speedup_collapse_fails(self, payloads):
+        gate = _load_gate()
+        base, fresh = payloads
+        for row in fresh["results"]:
+            if row["backend"] == "fast":
+                row["speedup"] = 0.1
+        failures, _ = gate.check(fresh, base, min_e2e_speedup=0.0)
+        assert any("speedup" in f for f in failures)
+
+    def test_e2e_floor(self, payloads):
+        gate = _load_gate()
+        base, fresh = payloads
+        for row in fresh["results"]:
+            if row["kernel"] == "attention_e2e" and row["backend"] == "fast":
+                row["speedup"] = 2.0
+        failures, _ = gate.check(fresh, base, min_e2e_speedup=3.0)
+        assert any("e2e floor" in f for f in failures)
+
+    def test_committed_baseline_is_valid(self):
+        gate = _load_gate()
+        payload = gate.load(str(REPO_ROOT / "benchmarks" / "baseline_kernels.json"))
+        rows = gate.index_rows(payload)
+        assert rows, "baseline has no rows"
+        e2e = [r for (k, _, b), r in rows.items() if k == "attention_e2e" and b == "fast"]
+        assert e2e and all(r["speedup"] >= 3.0 for r in e2e)
+        failures, factor = gate.check(payload, payload)
+        assert failures == [] and factor == 1.0

@@ -1,0 +1,42 @@
+"""Tests for the benchmark harness configuration (REPRO_SCALE validation)."""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+CONFTEST = Path(__file__).resolve().parents[2] / "benchmarks" / "conftest.py"
+
+
+def _load_bench_conftest(monkeypatch, scale=None):
+    if scale is None:
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+    else:
+        monkeypatch.setenv("REPRO_SCALE", scale)
+    spec = importlib.util.spec_from_file_location("bench_conftest_under_test", CONFTEST)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_defaults_to_smoke(monkeypatch):
+    module = _load_bench_conftest(monkeypatch)
+    assert module.BENCH_SCALE == "smoke"
+
+
+@pytest.mark.parametrize("scale", ["smoke", "default", "full", " Full "])
+def test_valid_scales_accepted_and_normalised(monkeypatch, scale):
+    module = _load_bench_conftest(monkeypatch, scale)
+    assert module.BENCH_SCALE == scale.strip().lower()
+
+
+@pytest.mark.parametrize("typo", ["ful", "smokey", "prod", ""])
+def test_typos_rejected_with_valid_choices(monkeypatch, typo):
+    with pytest.raises(pytest.UsageError, match="smoke|default|full"):
+        _load_bench_conftest(monkeypatch, typo)
+
+
+def test_resolver_rejects_explicit_value(monkeypatch):
+    module = _load_bench_conftest(monkeypatch, "smoke")
+    with pytest.raises(pytest.UsageError, match="REPRO_SCALE='ful'"):
+        module.resolve_bench_scale("ful")

@@ -1,7 +1,6 @@
 """Tests for the public attention API (full_attention / dfss_attention / DfssAttention)."""
 
 import numpy as np
-import pytest
 
 from repro.core.attention import (
     DfssAttention,

@@ -1,11 +1,9 @@
 """Integration tests for the experiment harness (smoke scale throughout)."""
 
-import numpy as np
 import pytest
 
 from repro.experiments import get_experiment, list_experiments, run_experiment
 from repro.experiments.common import model_scale, resolve_scale
-from repro.experiments.registry import EXPERIMENTS
 
 SCALE = "smoke"
 

@@ -1,10 +1,9 @@
 """Tests for the GPU device model and per-operator cost records."""
 
-import numpy as np
 import pytest
 
 from repro.gpusim import ops
-from repro.gpusim.device import AMPERE_A100, TURING_T4, GpuDevice
+from repro.gpusim.device import AMPERE_A100, TURING_T4
 
 
 class TestGpuDevice:

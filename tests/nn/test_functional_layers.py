@@ -5,7 +5,7 @@ import pytest
 
 import repro.nn.functional as F
 from repro.nn.autograd import Tensor
-from repro.nn.layers import Dropout, Embedding, LayerNorm, Linear, Module, Sequential
+from repro.nn.layers import Dropout, Embedding, LayerNorm, Linear, Sequential
 from repro.nn.optim import SGD, Adam, AdamW, WarmupInverseSquareRoot, clip_grad_norm
 
 
