@@ -10,7 +10,7 @@ lottery-ticket quality analysis of Section 4.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Type
+from typing import Dict, Optional, Type
 
 import numpy as np
 

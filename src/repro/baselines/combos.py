@@ -19,10 +19,10 @@ from repro.baselines.base import AttentionMechanism, register
 from repro.baselines.bigbird import BigBirdAttention
 from repro.baselines.linformer import LinformerAttention
 from repro.baselines.nystromformer import NystromformerAttention, newton_schulz_pinv, segment_means
-from repro.core.patterns import default_pattern_for_dtype, resolve_pattern
+from repro.core.patterns import resolve_pattern
 from repro.core.pruning import nm_prune_mask
 from repro.core.sddmm import sddmm_dense, sddmm_nm
-from repro.core.softmax import masked_dense_softmax, sparse_softmax
+from repro.core.softmax import sparse_softmax
 from repro.core.spmm import spmm
 
 
