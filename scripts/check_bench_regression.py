@@ -22,7 +22,10 @@ Exit status 0 means "ship it"; 1 means at least one check failed:
   more than the threshold below its baseline value (this ratio is
   machine-independent, making it the strongest cross-machine signal);
 * **e2e floor** — the end-to-end ``attention_e2e`` fast speedup dropped
-  below the absolute floor (default 3x, the repo's acceptance criterion).
+  below the absolute floor (default 3x, the repo's acceptance criterion);
+* **train floor** — the fwd+bwd ``attention_train_step`` fast speedup over
+  the dense autograd reference path dropped below the absolute floor
+  (default 2x, the sparse-training acceptance criterion).
 
 The script is stdlib-only so it runs anywhere, including bare CI images.
 """
@@ -77,6 +80,7 @@ def check(
     threshold: float = 0.30,
     parity_tol: float = 1e-2,
     min_e2e_speedup: float = 3.0,
+    min_train_speedup: float = 2.0,
 ) -> Tuple[List[str], float]:
     """Return ``(failure messages, machine factor)``; no failures means pass."""
     fresh = index_rows(fresh_payload)
@@ -114,19 +118,25 @@ def check(
                     f"speedup: {key} fell to {row['speedup']:.2f}x from baseline "
                     f"{base_speedup:.2f}x (more than {threshold * 100:.0f}% drop)"
                 )
-    if min_e2e_speedup > 0:
-        e2e_rows = [
+    floors = (
+        ("attention_e2e", min_e2e_speedup, "e2e floor"),
+        ("attention_train_step", min_train_speedup, "train floor"),
+    )
+    for kernel_name, floor, label in floors:
+        if floor <= 0:
+            continue
+        rows = [
             row for (kernel, _, backend), row in sorted(fresh.items())
-            if kernel == "attention_e2e" and backend == "fast"
+            if kernel == kernel_name and backend == "fast"
         ]
-        for row in e2e_rows:
-            if row["speedup"] < min_e2e_speedup:
+        for row in rows:
+            if row["speedup"] < floor:
                 failures.append(
-                    f"e2e floor: attention_e2e fast speedup {row['speedup']:.2f}x on "
-                    f"{row['shape']} is below the {min_e2e_speedup:.1f}x acceptance floor"
+                    f"{label}: {kernel_name} fast speedup {row['speedup']:.2f}x on "
+                    f"{row['shape']} is below the {floor:.1f}x acceptance floor"
                 )
-        if not e2e_rows:
-            failures.append("e2e floor: no attention_e2e fast rows in fresh results")
+        if not rows:
+            failures.append(f"{label}: no {kernel_name} fast rows in fresh results")
     return failures, factor
 
 
@@ -141,6 +151,10 @@ def main(argv=None) -> int:
     parser.add_argument("--min-e2e-speedup", type=float, default=3.0,
                         help="absolute floor for the fast attention_e2e speedup "
                              "(0 disables; default 3.0)")
+    parser.add_argument("--min-train-speedup", type=float, default=2.0,
+                        help="absolute floor for the fast attention_train_step "
+                             "speedup over the dense autograd reference path "
+                             "(0 disables; default 2.0)")
     parser.add_argument("--update-baseline", action="store_true",
                         help="on success, overwrite the baseline with the fresh results")
     args = parser.parse_args(argv)
@@ -153,6 +167,7 @@ def main(argv=None) -> int:
         threshold=args.threshold,
         parity_tol=args.parity_tol,
         min_e2e_speedup=args.min_e2e_speedup,
+        min_train_speedup=args.min_train_speedup,
     )
     print(f"perf gate: {len(fresh_payload.get('results', []))} fresh rows vs "
           f"{len(base_payload.get('results', []))} baseline rows "

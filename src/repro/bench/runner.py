@@ -21,6 +21,8 @@ from repro.core.backend import REFERENCE, get_kernel
 from repro.core.patterns import resolve_pattern
 from repro.core.sddmm import sddmm_nm
 from repro.core.softmax import sparse_softmax
+from repro.nn.attention_layer import DfssCore
+from repro.nn.autograd import Tensor
 from repro.utils.seeding import new_rng
 
 
@@ -47,7 +49,18 @@ SCALE_SHAPES: Dict[str, BenchShape] = {
 }
 
 #: Benchmarked pipeline stages (registry kernels plus the end-to-end pipeline).
-BENCH_KERNELS = ("sddmm_nm", "masked_softmax", "spmm", "softmax_spmm", "attention_e2e")
+#: ``attention_train_step`` is the trainable fwd+bwd step; its ``reference``
+#: row times the dense masked autograd path (the numerical oracle for
+#: training) and its ``fast`` row the compressed sparse op, so the reported
+#: speedup is exactly "sparse training step vs dense autograd".
+BENCH_KERNELS = (
+    "sddmm_nm",
+    "masked_softmax",
+    "spmm",
+    "softmax_spmm",
+    "attention_e2e",
+    "attention_train_step",
+)
 
 
 @dataclass
@@ -95,6 +108,27 @@ def _bench_cases(
     scores = sddmm_nm(q, k, pattern=pattern)
     weights = sparse_softmax(scores)
 
+    def train_step(backend: str) -> np.ndarray:
+        """One fwd+bwd attention step; returns output and input grads for parity.
+
+        ``reference`` runs the dense masked autograd path (``path="dense"``,
+        the pre-sparse-op training path, with the reference selection
+        kernel); any other backend runs the compressed sparse op end to end
+        on that backend.
+        """
+        qt = Tensor(q, requires_grad=True)
+        kt = Tensor(k, requires_grad=True)
+        vt = Tensor(v, requires_grad=True)
+        if backend == REFERENCE:
+            core = DfssCore(pattern, backend=backend, path="dense")
+        else:
+            core = DfssCore(pattern, backend=backend, path="sparse")
+        out = core(qt, kt, vt)
+        out.sum().backward()
+        return np.concatenate(
+            [out.data.ravel(), qt.grad.ravel(), kt.grad.ravel(), vt.grad.ravel()]
+        )
+
     return {
         "sddmm_nm": (
             lambda backend: sddmm_nm(q, k, pattern=pattern, backend=backend),
@@ -114,6 +148,10 @@ def _bench_cases(
         ),
         "attention_e2e": (
             lambda backend: dfss_attention(q, k, v, pattern=pattern, backend=backend),
+            lambda out: out,
+        ),
+        "attention_train_step": (
+            train_step,
             lambda out: out,
         ),
     }

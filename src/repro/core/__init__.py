@@ -14,12 +14,16 @@ This package implements the paper's primary contribution:
   the three attention stages with the fused pruning epilogue;
 * :mod:`repro.core.attention` — the ``full_attention`` / ``dfss_attention``
   public API and the :class:`DfssAttention` drop-in object;
+* :mod:`repro.core.attention_grad` — the analytic backward pass of DFSS
+  attention on the compressed representation (transposed SpMM, masked SDDMM,
+  compressed softmax Jacobian);
 * :mod:`repro.core.lottery`, :mod:`repro.core.theory`, :mod:`repro.core.mse` —
   the analytical results of Section 4 and the appendices;
 * :mod:`repro.core.blocked_ell` — hybrid blocked-ELL + N:M sparsity.
 """
 
 from repro.core.attention import DfssAttention, dfss_attention, full_attention
+from repro.core.attention_grad import dfss_attention_bwd, softmax_grad_compressed
 from repro.core.backend import (
     available_backends,
     available_kernels,
@@ -44,15 +48,17 @@ from repro.core.patterns import (
 )
 from repro.core.precision import quantize, simulate_tensor_core_matmul, to_bfloat16
 from repro.core.pruning import nm_compress, nm_decompress, nm_prune_dense, nm_prune_mask
-from repro.core.sddmm import sddmm_dense, sddmm_nm, sddmm_nm_tiled
+from repro.core.sddmm import sddmm_dense, sddmm_masked, sddmm_nm, sddmm_nm_tiled
 from repro.core.softmax import dense_softmax, sparse_softmax
 from repro.core.sparse import NMSparseMatrix
-from repro.core.spmm import softmax_spmm, spmm
+from repro.core.spmm import softmax_spmm, spmm, spmm_t
 
 __all__ = [
     "DfssAttention",
     "dfss_attention",
+    "dfss_attention_bwd",
     "full_attention",
+    "softmax_grad_compressed",
     "available_backends",
     "available_kernels",
     "get_kernel",
@@ -77,6 +83,7 @@ __all__ = [
     "nm_prune_dense",
     "nm_prune_mask",
     "sddmm_dense",
+    "sddmm_masked",
     "sddmm_nm",
     "sddmm_nm_tiled",
     "dense_softmax",
@@ -84,4 +91,5 @@ __all__ = [
     "NMSparseMatrix",
     "softmax_spmm",
     "spmm",
+    "spmm_t",
 ]

@@ -132,15 +132,15 @@ def _group_columns(groups: np.ndarray):
     return tuple(np.ascontiguousarray(groups[..., i]) for i in range(groups.shape[-1]))
 
 
-def _keep_bools_24(key: np.ndarray):
-    """Per-column survival masks for a 2:4 pattern, ``key`` shaped ``(..., G, 4)``.
+def _keep_bools_24(key_cols):
+    """Per-column survival masks for a 2:4 pattern from the 4 key columns.
 
     Element ``i`` "beats" element ``j`` when it wins the reference tie-break:
     ``key_i >= key_j`` for ``i < j`` and ``key_i > key_j`` for ``i > j``.  The
     beats relation is a total order, so counting wins ranks the group and the
     top-2 are exactly the entries with at least two wins.
     """
-    a, b, c, d = _group_columns(key)
+    a, b, c, d = key_cols
     ab = a >= b
     ac = a >= c
     ad = a >= d
@@ -163,7 +163,11 @@ def _compress_fast_12(groups: np.ndarray, key: np.ndarray):
 
 
 def _compress_fast_24(groups: np.ndarray, key: np.ndarray):
-    keep_a, keep_b, keep_c, keep_d = _keep_bools_24(key)
+    group_cols = _group_columns(groups)
+    # the "value" criterion keys on the group entries themselves — reuse the
+    # contiguous column copies instead of materialising them twice
+    key_cols = group_cols if key is groups else _group_columns(key)
+    keep_a, keep_b, keep_c, keep_d = _keep_bools_24(key_cols)
     # kept indices in ascending order: the first kept entry is a if a
     # survives, else b if b survives, else it must be c; symmetrically for
     # the second kept entry from the high end.
@@ -171,7 +175,7 @@ def _compress_fast_24(groups: np.ndarray, key: np.ndarray):
     first_c = ~(keep_a | keep_b)
     last_c = keep_c & ~keep_d
     last_b = ~(keep_c | keep_d)
-    a, b, c, d = (col.view(np.uint32) for col in _group_columns(groups))
+    a, b, c, d = (col.view(np.uint32) for col in group_cols)
     v0 = (a * keep_a + b * first_b + c * first_c).view(np.float32)
     v1 = (d * keep_d + c * last_c + b * last_b).view(np.float32)
     i0 = (~keep_a).view(np.uint8) + first_c
@@ -217,7 +221,7 @@ def nm_prune_mask_fast(x: np.ndarray, pattern, criterion: str = "value") -> np.n
         mask[..., 0] = ~take_second
         mask[..., 1] = take_second
     else:
-        keep_a, keep_b, keep_c, keep_d = _keep_bools_24(key)
+        keep_a, keep_b, keep_c, keep_d = _keep_bools_24(_group_columns(key))
         mask[..., 0] = keep_a
         mask[..., 1] = keep_b
         mask[..., 2] = keep_c
@@ -264,8 +268,10 @@ def global_column_indices(indices: np.ndarray, pattern, cols: int) -> np.ndarray
         raise ValueError(
             f"indices width {indices.shape[-1]} does not match kept({cols})={kept}"
         )
-    group_base = np.repeat(np.arange(groups, dtype=np.int64) * pattern.m, pattern.n)
-    return indices.astype(np.int64) + group_base
+    # int32 offsets: half the expansion cost of int64, and sequence lengths
+    # are far below 2**31 columns
+    group_base = np.repeat(np.arange(groups, dtype=np.int32) * pattern.m, pattern.n)
+    return indices.astype(np.int32) + group_base
 
 
 def density_of_mask(mask: np.ndarray) -> float:

@@ -183,6 +183,75 @@ def _sddmm_nm_reference(
     )
 
 
+def sddmm_masked(
+    a: np.ndarray,
+    b: np.ndarray,
+    structure: NMSparseMatrix,
+    backend: Optional[str] = None,
+) -> NMSparseMatrix:
+    """SDDMM restricted to an existing N:M structure: ``(A Bᵀ) ∘ mask``.
+
+    Computes ``C[i, k] = A[i, :] · B[col(i, k), :]`` for every stored nonzero
+    of ``structure`` and returns a compressed matrix sharing that structure.
+    This is the backward-pass sibling of :func:`sddmm_nm`: the selection is a
+    constant of the graph, so gradients such as ``dP = (dO Vᵀ) ∘ mask`` only
+    ever need the already-chosen positions — no pruning epilogue runs here.
+    """
+    return get_kernel("sddmm_masked", backend)(a, b, structure)
+
+
+def _check_masked_operands(a: np.ndarray, b: np.ndarray, structure: NMSparseMatrix):
+    a = np.asarray(a, dtype=np.float32)
+    b = np.asarray(b, dtype=np.float32)
+    if a.shape[:-2] != structure.batch_shape or b.shape[:-2] != structure.batch_shape:
+        raise ValueError(
+            f"operand batch shapes {a.shape[:-2]} / {b.shape[:-2]} != "
+            f"sparse batch shape {structure.batch_shape}"
+        )
+    if a.shape[-2] != structure.rows:
+        raise ValueError(
+            f"A rows ({a.shape[-2]}) must equal the sparse row count ({structure.rows})"
+        )
+    if b.shape[-2] != structure.dense_cols:
+        raise ValueError(
+            f"B rows ({b.shape[-2]}) must equal the dense column count "
+            f"({structure.dense_cols})"
+        )
+    if a.shape[-1] != b.shape[-1]:
+        raise ValueError(f"feature dims differ: {a.shape[-1]} vs {b.shape[-1]}")
+    return a, b
+
+
+@register_kernel("sddmm_masked", REFERENCE)
+def _sddmm_masked_reference(
+    a: np.ndarray, b: np.ndarray, structure: NMSparseMatrix
+) -> NMSparseMatrix:
+    """Per-slice gather + einsum, walking the metadata like each thread block."""
+    a, b = _check_masked_operands(a, b, structure)
+    a3, batch_shape = as_batched_3d(a)
+    b3, _ = as_batched_3d(b)
+    cols3, _ = as_batched_3d(structure.column_indices())
+    out = np.empty(cols3.shape, dtype=np.float32)
+    for s in range(a3.shape[0]):
+        gathered = b3[s][cols3[s]]  # (n_q, kept, d)
+        out[s] = np.einsum("qd,qkd->qk", a3[s], gathered, optimize=True)
+    return structure.with_values(restore_batch_shape(out, batch_shape))
+
+
+@register_kernel("sddmm_masked", FAST)
+def _sddmm_masked_fast(
+    a: np.ndarray, b: np.ndarray, structure: NMSparseMatrix
+) -> NMSparseMatrix:
+    """Batched dense contraction followed by a gather of the stored positions."""
+    a, b = _check_masked_operands(a, b, structure)
+    a3, batch_shape = as_batched_3d(a)
+    b3, _ = as_batched_3d(b)
+    cols3, _ = as_batched_3d(structure.column_indices())
+    dense = np.matmul(a3, np.swapaxes(b3, -1, -2))
+    vals = np.take_along_axis(dense, cols3, axis=-1)
+    return structure.with_values(restore_batch_shape(vals, batch_shape))
+
+
 def sddmm_dense(
     q: np.ndarray,
     k: np.ndarray,

@@ -37,12 +37,19 @@ def dense_softmax(scores: np.ndarray, axis: int = -1) -> np.ndarray:
 def masked_dense_softmax(
     scores: np.ndarray, mask: np.ndarray, axis: int = -1
 ) -> np.ndarray:
-    """Dense softmax where positions with ``mask == False`` receive zero weight."""
+    """Dense softmax where positions with ``mask == False`` receive zero weight.
+
+    A fully-masked row receives exactly zero weight everywhere (never a
+    uniform distribution): pruned positions must not leak attention.
+    """
     scores = np.asarray(scores, dtype=np.float32)
     mask = np.asarray(mask, dtype=bool)
     neg = np.where(mask, scores, np.float32(-np.inf))
     with np.errstate(invalid="ignore"):
-        # rows that are fully masked produce -inf - (-inf) = nan; forced to 0 below
+        # a fully-masked row is all -inf, so shifted = -inf - (-inf) = nan and
+        # the isfinite() select zeroes the entire row — together with the
+        # denom clamp below this guarantees such rows get exactly zero weight
+        # (never a uniform distribution); pinned by the fully-masked-row tests
         shifted = neg - np.max(neg, axis=axis, keepdims=True)
         exp = np.where(np.isfinite(shifted), np.exp(shifted), 0.0)
     denom = np.sum(exp, axis=axis, keepdims=True)

@@ -127,8 +127,39 @@ class NMSparseMatrix:
         return ones.to_dense(0.0).astype(bool)
 
     def column_indices(self) -> np.ndarray:
-        """Absolute dense-column index of every stored value."""
-        return pruning.global_column_indices(self.indices, self.pattern, self.dense_cols)
+        """Absolute dense-column index of every stored value.
+
+        The expanded index array is cached on first use (the structure is
+        immutable by convention) — the forward SpMM and every backward-pass
+        kernel walk the same metadata, so the expansion happens once.
+        """
+        cached = self.__dict__.get("_column_cache")
+        if cached is None or cached.shape != self.indices.shape:
+            cached = pruning.global_column_indices(
+                self.indices, self.pattern, self.dense_cols
+            )
+            self.__dict__["_column_cache"] = cached
+        return cached
+
+    def to_scattered(self, cache: bool = False) -> np.ndarray:
+        """Dense zero-filled scatter of the stored values.
+
+        This is the CPU stand-in for the sparse tensor core's metadata walk:
+        the ``fast`` kernels scatter the compressed nonzeros into a dense tile
+        and hand the contraction to BLAS.  With ``cache=True`` the tile is
+        memoised against the current values array, letting a forward SpMM and
+        the backward-pass kernels of one training step share a single walk;
+        an existing memo is always reused.  The returned array must be
+        treated as read-only.
+        """
+        cached = self.__dict__.get("_scatter_cache")
+        if cached is not None and cached[0] is self.values:
+            return cached[1]
+        dense = np.zeros(self.values.shape[:-1] + (self.dense_cols,), dtype=np.float32)
+        np.put_along_axis(dense, self.column_indices(), self.values, axis=-1)
+        if cache:
+            self.__dict__["_scatter_cache"] = (self.values, dense)
+        return dense
 
     def with_values(self, new_values: np.ndarray) -> "NMSparseMatrix":
         """Return a new matrix with the same sparsity structure but new values."""
@@ -137,13 +168,17 @@ class NMSparseMatrix:
             raise ValueError(
                 f"replacement values shape {new_values.shape} != {self.values.shape}"
             )
-        return NMSparseMatrix(
+        out = NMSparseMatrix(
             values=new_values,
             indices=self.indices.copy(),
             pattern=self.pattern,
             dense_cols=self.dense_cols,
             dtype=self.dtype,
         )
+        cached = self.__dict__.get("_column_cache")
+        if cached is not None:
+            out.__dict__["_column_cache"] = cached
+        return out
 
     # -------------------------------------------------------------- metadata
     def group_nibbles(self) -> np.ndarray:

@@ -90,11 +90,16 @@ def _scatter_matmul(values: np.ndarray, structure: NMSparseMatrix, v3: np.ndarra
 
     ``values`` shares the sparsity ``structure`` (column metadata and dense
     width); ``v3`` is the already-flattened ``(B, n_k, d_v)`` value matrix.
+    When ``values`` is the structure's own value array the cached scatter is
+    reused (one metadata walk per (values, structure) pair).
     """
-    vals3, _ = as_batched_3d(values)
-    cols3, _ = as_batched_3d(structure.column_indices())
-    dense = np.zeros(vals3.shape[:-1] + (structure.dense_cols,), dtype=np.float32)
-    np.put_along_axis(dense, cols3, vals3, axis=-1)
+    if values is structure.values:
+        dense, _ = as_batched_3d(structure.to_scattered())
+    else:
+        vals3, _ = as_batched_3d(values)
+        cols3, _ = as_batched_3d(structure.column_indices())
+        dense = np.zeros(vals3.shape[:-1] + (structure.dense_cols,), dtype=np.float32)
+        np.put_along_axis(dense, cols3, vals3, axis=-1)
     return np.matmul(dense, v3)
 
 
@@ -138,6 +143,62 @@ def _softmax_spmm_fast(scores: NMSparseMatrix, v: np.ndarray) -> np.ndarray:
     exp, denom = masked_exp_terms(scores.values)
     out = _scatter_matmul(exp, scores, v3)
     return restore_batch_shape(out, batch_shape) / denom
+
+
+def spmm_t(
+    weights: NMSparseMatrix, g: np.ndarray, backend: Optional[str] = None
+) -> np.ndarray:
+    """Transposed SpMM ``A_sparseᵀ @ G`` for an N:M compressed ``A_sparse``.
+
+    This is the backward-pass sibling of :func:`spmm`: with ``A`` the
+    compressed attention weights of dense shape ``(..., n_q, n_k)`` and ``G``
+    a dense ``(..., n_q, d)`` gradient, the result is the dense
+    ``(..., n_k, d)`` product ``Aᵀ G`` (e.g. ``dV = Pᵀ dO``).  The contraction
+    touches only the stored nonzeros; the sparsity structure is never
+    transposed or re-encoded.
+    """
+    return get_kernel("spmm_t", backend)(weights, g)
+
+
+def _check_transposed_operands(weights: NMSparseMatrix, g: np.ndarray) -> np.ndarray:
+    g = np.asarray(g, dtype=np.float32)
+    if g.shape[:-2] != weights.batch_shape:
+        raise ValueError(
+            f"G batch shape {g.shape[:-2]} != sparse batch shape {weights.batch_shape}"
+        )
+    if g.shape[-2] != weights.rows:
+        raise ValueError(
+            f"G rows ({g.shape[-2]}) must equal the sparse row count ({weights.rows})"
+        )
+    return g
+
+
+@register_kernel("spmm_t", REFERENCE)
+def _spmm_t_reference(weights: NMSparseMatrix, g: np.ndarray) -> np.ndarray:
+    """Per-slice scatter-add, one Python iteration per batch/head slice."""
+    g = _check_transposed_operands(weights, g)
+    vals3, batch_shape = as_batched_3d(weights.values)
+    cols3, _ = as_batched_3d(weights.column_indices())
+    g3, _ = as_batched_3d(g)
+
+    batch, n_q, _ = vals3.shape
+    d = g3.shape[-1]
+    out = np.zeros((batch, weights.dense_cols, d), dtype=np.float32)
+    for b in range(batch):
+        # each stored (row, col) nonzero contributes vals * g[row] to out[col]
+        contrib = vals3[b][..., None] * g3[b][:, None, :]  # (n_q, kept, d)
+        np.add.at(out[b], cols3[b].reshape(-1), contrib.reshape(-1, d))
+    return restore_batch_shape(out, batch_shape)
+
+
+@register_kernel("spmm_t", FAST)
+def _spmm_t_fast(weights: NMSparseMatrix, g: np.ndarray) -> np.ndarray:
+    """Batched scatter into a dense tile, then one transposed BLAS contraction."""
+    g = _check_transposed_operands(weights, g)
+    g3, batch_shape = as_batched_3d(g)
+    dense, _ = as_batched_3d(weights.to_scattered())
+    out = np.matmul(np.swapaxes(dense, -1, -2), g3)
+    return restore_batch_shape(out, batch_shape)
 
 
 def spmm_dense_reference(weights: NMSparseMatrix, v: np.ndarray) -> np.ndarray:

@@ -5,6 +5,8 @@
 * :mod:`repro.nn.layers` — Module, Linear, Embedding, LayerNorm, Dropout;
 * :mod:`repro.nn.attention_layer` — multi-head attention with swappable
   mechanism (full / DFSS / all Table-4 baselines);
+* :mod:`repro.nn.sparse_attention` — the compressed DFSS attention autograd
+  op (sparse forward *and* analytic sparse backward);
 * :mod:`repro.nn.transformer` — encoder models and task heads;
 * :mod:`repro.nn.optim`, :mod:`repro.nn.trainer` — optimisers and loops.
 """
@@ -13,6 +15,7 @@ from repro.nn.autograd import Tensor, parameter
 from repro.nn.attention_layer import MultiHeadSelfAttention, make_attention_core
 from repro.nn.layers import Dropout, Embedding, LayerNorm, Linear, Module, Sequential
 from repro.nn.optim import SGD, Adam, AdamW, clip_grad_norm
+from repro.nn.sparse_attention import dfss_sparse_attention
 from repro.nn.trainer import Trainer, evaluate_classification, evaluate_mlm, evaluate_span_qa
 from repro.nn.transformer import (
     DualSequenceClassifier,
@@ -28,6 +31,7 @@ __all__ = [
     "parameter",
     "MultiHeadSelfAttention",
     "make_attention_core",
+    "dfss_sparse_attention",
     "Dropout",
     "Embedding",
     "LayerNorm",

@@ -11,7 +11,10 @@ flavours:
   (LSH buckets), Routing (k-means clusters) and Sinkhorn (block matching)
   fall in this class.  The mask itself is treated as a constant of the graph,
   exactly as the paper's kernel does (the N:M selection is not differentiated
-  through).
+  through).  DFSS additionally dispatches the whole trainable computation —
+  forward and backward — through the compressed sparse op of
+  :mod:`repro.nn.sparse_attention` by default; its dense masked-softmax
+  formulation remains available as the ``path="dense"`` escape hatch.
 * *kernel / low-rank* — the attention output is computed through a different
   differentiable computation graph: Linformer, Linear Transformer, Performer,
   Nyströmformer and the DFSS + Nyströmformer combination.
@@ -32,9 +35,11 @@ from repro.core.backend import get_kernel
 from repro.core.blocked_ell import bigbird_mask
 from repro.core.lottery import topk_mask
 from repro.core.patterns import resolve_pattern
+from repro.core.pruning import global_column_indices
 from repro.nn import functional as F
 from repro.nn.autograd import Tensor
 from repro.nn.layers import Dropout, Linear, Module
+from repro.nn.sparse_attention import dfss_sparse_attention
 from repro.utils.seeding import new_rng
 
 
@@ -44,8 +49,22 @@ class AttentionCore:
 
     name = "core"
 
+    #: Dropout module applied to the attention probabilities (not the output);
+    #: attached by :class:`MultiHeadSelfAttention`, ``None`` for bare cores.
+    attn_dropout: Optional[Dropout] = None
+
+    #: True for cores that consume ``attn_dropout`` themselves (on their
+    #: probability matrix).  Kernel/low-rank cores have no probability matrix;
+    #: for those the layer applies ``attn_dropout`` to the core output instead,
+    #: so ``dropout=`` regularises every mechanism.
+    handles_prob_dropout = False
+
     def __call__(self, q: Tensor, k: Tensor, v: Tensor) -> Tensor:
         raise NotImplementedError
+
+    def _apply_prob_dropout(self, weights: Tensor) -> Tensor:
+        drop = self.attn_dropout
+        return drop(weights) if drop is not None else weights
 
     # mask-based cores also expose their mask for analysis
     def last_mask(self) -> Optional[np.ndarray]:
@@ -55,15 +74,19 @@ class AttentionCore:
 class FullCore(AttentionCore):
     name = "full"
 
+    handles_prob_dropout = True
+
     def __call__(self, q: Tensor, k: Tensor, v: Tensor) -> Tensor:
         d = q.shape[-1]
         scores = (q @ k.swapaxes(-1, -2)) * (1.0 / np.sqrt(d))
-        weights = F.softmax(scores, axis=-1)
+        weights = self._apply_prob_dropout(F.softmax(scores, axis=-1))
         return weights @ v
 
 
 class MaskedScoreCore(AttentionCore):
     """Shared implementation for all mask-based mechanisms."""
+
+    handles_prob_dropout = True
 
     def _mask(self, scores: np.ndarray, q: np.ndarray, k: np.ndarray) -> np.ndarray:
         raise NotImplementedError
@@ -73,26 +96,71 @@ class MaskedScoreCore(AttentionCore):
         scores = (q @ k.swapaxes(-1, -2)) * (1.0 / np.sqrt(d))
         mask = self._mask(scores.data, q.data, k.data)
         self._last_mask = mask
-        weights = F.masked_softmax(scores, mask, axis=-1)
+        weights = self._apply_prob_dropout(F.masked_softmax(scores, mask, axis=-1))
         return weights @ v
 
 
 class DfssCore(MaskedScoreCore):
     """Dynamic N:M pruning of the score matrix (the paper's mechanism).
 
-    The N:M selection (which the graph treats as a constant) is dispatched
-    through the kernel registry, so training and evaluation transparently use
-    the fast selection-network kernel unless ``backend`` pins a specific one.
+    By default (``path="sparse"``) the whole trainable computation — forward
+    *and* backward — runs through the compressed pipeline of
+    :func:`repro.nn.sparse_attention.dfss_sparse_attention`: fused SDDMM +
+    prune, sparse softmax and SpMM over the stored nonzeros, with analytic
+    gradients on the compressed representation.  ``path="dense"`` is the
+    escape hatch used for parity testing: the score matrix is materialised
+    densely and autograd differentiates a masked softmax, with only the N:M
+    selection dispatched through the kernel registry.  Both paths treat the
+    selection as a constant of the graph, exactly as the paper's kernel does.
     """
 
     name = "dfss"
 
-    def __init__(self, pattern="2:4", backend: Optional[str] = None):
+    PATHS = ("sparse", "dense")
+
+    def __init__(
+        self, pattern="2:4", backend: Optional[str] = None, path: str = "sparse"
+    ):
         self.pattern = resolve_pattern(pattern)
         self.backend = backend
+        if path not in self.PATHS:
+            raise ValueError(f"unknown path {path!r}; expected one of {self.PATHS}")
+        self.path = path
+        self._last_structure = None
 
     def _mask(self, scores, q, k):
         return get_kernel("nm_prune_mask", self.backend)(scores, self.pattern)
+
+    def __call__(self, q: Tensor, k: Tensor, v: Tensor) -> Tensor:
+        if self.path == "dense":
+            self._last_structure = None
+            return super().__call__(q, k, v)
+        drop = self.attn_dropout
+        out, probs = dfss_sparse_attention(
+            q,
+            k,
+            v,
+            pattern=self.pattern,
+            backend=self.backend,
+            dropout_p=drop.p if drop is not None else 0.0,
+            dropout_rng=drop.rng if drop is not None else None,
+            training=bool(drop.training) if drop is not None else False,
+        )
+        # keep only the int8 metadata for mask introspection — retaining the
+        # probs object would pin its values (and the fast backend's scattered
+        # dense tile) in memory between steps
+        self._last_structure = (probs.indices, probs.pattern, probs.dense_cols)
+        self._last_mask = None
+        return out
+
+    def last_mask(self) -> Optional[np.ndarray]:
+        if self._last_structure is not None:
+            indices, pattern, dense_cols = self._last_structure
+            cols = global_column_indices(indices, pattern, dense_cols)
+            mask = np.zeros(indices.shape[:-1] + (dense_cols,), dtype=bool)
+            np.put_along_axis(mask, cols, True, axis=-1)
+            return mask
+        return super().last_mask()
 
 
 class TopKCore(MaskedScoreCore):
@@ -151,6 +219,8 @@ class LinformerCore(AttentionCore):
             )
         return self._proj[n]
 
+    handles_prob_dropout = True
+
     def __call__(self, q: Tensor, k: Tensor, v: Tensor) -> Tensor:
         n = k.shape[-2]
         d = q.shape[-1]
@@ -158,7 +228,7 @@ class LinformerCore(AttentionCore):
         k_proj = e @ k
         v_proj = e @ v
         scores = (q @ k_proj.swapaxes(-1, -2)) * (1.0 / np.sqrt(d))
-        weights = F.softmax(scores, axis=-1)
+        weights = self._apply_prob_dropout(F.softmax(scores, axis=-1))
         return weights @ v_proj
 
 
@@ -288,11 +358,13 @@ class SynthesizerCore(AttentionCore):
         self.max_len = max_len
         self.weight = parameter(rng.normal(0.0, 0.02, size=(max_len, max_len)), name="synth")
 
+    handles_prob_dropout = True
+
     def __call__(self, q: Tensor, k: Tensor, v: Tensor) -> Tensor:
         n = q.shape[-2]
         if n > self.max_len:
             raise ValueError(f"sequence length {n} exceeds synthesizer table {self.max_len}")
-        weights = F.softmax(self.weight[:n, :n], axis=-1)
+        weights = self._apply_prob_dropout(F.softmax(self.weight[:n, :n], axis=-1))
         return weights @ v
 
 
@@ -301,39 +373,47 @@ def make_attention_core(mechanism: str, seq_len_hint: int = 512, **kwargs) -> At
     """Build an :class:`AttentionCore` by mechanism name.
 
     ``mechanism`` accepts the Table-4 names plus ``dfss_1:2`` / ``dfss_2:4``
-    shortcuts; extra keyword arguments are forwarded to the core.
+    shortcuts; extra keyword arguments are forwarded to the core (e.g.
+    ``backend=`` / ``path=`` for DFSS).  Keyword arguments the selected
+    mechanism does not consume raise ``TypeError`` instead of being silently
+    dropped.
     """
     mech = mechanism.lower()
+
+    def take_all():
+        taken = dict(kwargs)
+        kwargs.clear()
+        return taken
+
     if mech in ("full", "transformer", "dense"):
-        return FullCore()
-    if mech.startswith("dfss"):
-        pattern = kwargs.pop("pattern", None)
-        if pattern is None:
-            pattern = mech.split("_", 1)[1] if "_" in mech else "2:4"
-        return DfssCore(pattern=pattern)
-    if mech == "topk":
-        return TopKCore(**kwargs)
-    if mech == "local":
+        core = FullCore()
+    elif mech.startswith("dfss"):
+        if kwargs.get("pattern") is None:
+            kwargs["pattern"] = mech.split("_", 1)[1] if "_" in mech else "2:4"
+        core = DfssCore(**take_all())
+    elif mech == "topk":
+        core = TopKCore(**take_all())
+    elif mech == "local":
         window = kwargs.pop("window", 32)
-        return StaticMaskCore(lambda nq, nk: local_window_mask(nq, nk, window), "local")
-    if mech == "sparse_transformer":
+        core = StaticMaskCore(lambda nq, nk: local_window_mask(nq, nk, window), "local")
+    elif mech == "sparse_transformer":
         window = kwargs.pop("window", 16)
         stride = kwargs.pop("stride", 64)
-        return StaticMaskCore(
+        core = StaticMaskCore(
             lambda nq, nk: strided_mask(nq, nk, window, stride), "sparse_transformer"
         )
-    if mech == "fixed_truncated":
+    elif mech == "fixed_truncated":
         density = kwargs.pop("density", 0.5)
-        return StaticMaskCore(
+        core = StaticMaskCore(
             lambda nq, nk: truncated_mask(nq, nk, density), "fixed_truncated"
         )
-    if mech == "longformer":
+    elif mech == "longformer":
         window = kwargs.pop("window", 32)
         num_global = kwargs.pop("num_global", 1)
-        return StaticMaskCore(
+        core = StaticMaskCore(
             lambda nq, nk: longformer_mask(nq, nk, window, num_global), "longformer"
         )
-    if mech == "bigbird":
+    elif mech == "bigbird":
         block = kwargs.pop("block_size", 64)
         seed = kwargs.pop("seed", 0)
 
@@ -343,28 +423,35 @@ def make_attention_core(mechanism: str, seq_len_hint: int = 512, **kwargs) -> At
                 bs //= 2
             return bigbird_mask(nq, bs, seed=seed).dense_mask(nq, nk)
 
-        return StaticMaskCore(_bb, "bigbird")
-    if mech == "reformer":
-        return ClusteringMaskCore(ReformerAttention(**kwargs), "reformer")
-    if mech == "routing":
-        return ClusteringMaskCore(RoutingTransformerAttention(**kwargs), "routing")
-    if mech == "sinkhorn":
-        return ClusteringMaskCore(SinkhornAttention(**kwargs), "sinkhorn")
-    if mech == "linformer":
-        return LinformerCore(**kwargs)
-    if mech == "linear_transformer":
-        return LinearTransformerCore()
-    if mech == "performer":
-        return PerformerCore(**kwargs)
-    if mech == "nystromformer":
-        return NystromformerCore(**kwargs)
-    if mech in ("nystromformer_dfss", "nystrom_dfss"):
+        core = StaticMaskCore(_bb, "bigbird")
+    elif mech == "reformer":
+        core = ClusteringMaskCore(ReformerAttention(**take_all()), "reformer")
+    elif mech == "routing":
+        core = ClusteringMaskCore(RoutingTransformerAttention(**take_all()), "routing")
+    elif mech == "sinkhorn":
+        core = ClusteringMaskCore(SinkhornAttention(**take_all()), "sinkhorn")
+    elif mech == "linformer":
+        core = LinformerCore(**take_all())
+    elif mech == "linear_transformer":
+        core = LinearTransformerCore()
+    elif mech == "performer":
+        core = PerformerCore(**take_all())
+    elif mech == "nystromformer":
+        core = NystromformerCore(**take_all())
+    elif mech in ("nystromformer_dfss", "nystrom_dfss"):
         kwargs.setdefault("dfss_pattern", "2:4")
-        return NystromformerCore(**kwargs)
-    if mech == "synthesizer":
+        core = NystromformerCore(**take_all())
+    elif mech == "synthesizer":
         kwargs.setdefault("max_len", seq_len_hint)
-        return SynthesizerCore(**kwargs)
-    raise ValueError(f"unknown attention mechanism {mechanism!r}")
+        core = SynthesizerCore(**take_all())
+    else:
+        raise ValueError(f"unknown attention mechanism {mechanism!r}")
+    if kwargs:
+        raise TypeError(
+            f"unexpected keyword arguments {sorted(kwargs)} for "
+            f"attention mechanism {mechanism!r}"
+        )
+    return core
 
 
 # ------------------------------------------------------------- the nn layer
@@ -382,6 +469,7 @@ class MultiHeadSelfAttention(Module):
         num_heads: int,
         mechanism: str = "full",
         dropout: float = 0.0,
+        resid_dropout: float = 0.0,
         seed=0,
         max_len: int = 512,
         **mechanism_kwargs,
@@ -398,10 +486,14 @@ class MultiHeadSelfAttention(Module):
         self.k_proj = Linear(model_dim, model_dim, seed=rng.integers(1 << 31))
         self.v_proj = Linear(model_dim, model_dim, seed=rng.integers(1 << 31))
         self.out_proj = Linear(model_dim, model_dim, seed=rng.integers(1 << 31))
+        #: applied to the attention probabilities inside the core (``dropout``)
         self.attn_dropout = Dropout(dropout, seed=rng.integers(1 << 31))
+        #: applied to the projected output (the residual branch)
+        self.resid_dropout = Dropout(resid_dropout, seed=rng.integers(1 << 31))
         self.core = make_attention_core(mechanism, seq_len_hint=max_len, **mechanism_kwargs)
         self.mechanism = mechanism
         self._register_core_parameters()
+        self.core.attn_dropout = self.attn_dropout
 
     def _register_core_parameters(self) -> None:
         """Expose trainable tensors owned by the core (e.g. the Synthesizer matrix)."""
@@ -417,6 +509,7 @@ class MultiHeadSelfAttention(Module):
         )
         self.mechanism = mechanism
         self._register_core_parameters()
+        self.core.attn_dropout = self.attn_dropout
 
     def _split_heads(self, x: Tensor, batch: int, seq: int) -> Tensor:
         return x.reshape(batch, seq, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
@@ -430,5 +523,9 @@ class MultiHeadSelfAttention(Module):
         k = self._split_heads(self.k_proj(x), batch, seq)
         v = self._split_heads(self.v_proj(x), batch, seq)
         out = self.core(q, k, v)
+        if not self.core.handles_prob_dropout:
+            # kernel/low-rank cores have no probability matrix to drop; apply
+            # the attention dropout to the per-head context instead
+            out = self.attn_dropout(out)
         out = self._merge_heads(out, batch, seq)
-        return self.attn_dropout(self.out_proj(out))
+        return self.resid_dropout(self.out_proj(out))

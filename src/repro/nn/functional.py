@@ -25,10 +25,19 @@ def masked_softmax(x: Tensor, mask: np.ndarray, axis: int = -1) -> Tensor:
     ``mask`` is a plain boolean ndarray (it is data-dependent but treated as a
     constant of the graph, exactly like the DFSS pruning decision which is not
     differentiated through).
+
+    A row whose mask is entirely False gets *zero* attention everywhere: the
+    finite ``NEG_INF`` fill alone would make such a row a uniform ``1/n``
+    distribution, silently leaking weight onto pruned positions.  The zeroing
+    multiplies by a 0/1 constant, so gradients stay finite.
     """
     mask = np.asarray(mask, dtype=bool)
     filled = x.masked_fill(~mask, NEG_INF)
-    return softmax(filled, axis=axis)
+    weights = softmax(filled, axis=axis)
+    row_alive = np.any(mask, axis=axis, keepdims=True)
+    if not row_alive.all():
+        weights = weights * row_alive.astype(np.float32)
+    return weights
 
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:

@@ -1,0 +1,116 @@
+"""Trainable DFSS attention as a single compressed-pipeline autograd op.
+
+:func:`dfss_sparse_attention` runs the paper's N:M attention through the
+kernel registry in *both* directions: the forward pass is the fused SDDMM +
+prune epilogue followed by the sparse softmax and SpMM over the compressed
+nonzeros, and the backward pass is the analytic gradient of
+:mod:`repro.core.attention_grad`, computed entirely on the compressed
+representation (``dV = Pᵀ dO``, masked SDDMM for ``dP``, the row-wise softmax
+Jacobian on compressed rows, then ``dQ``/``dK`` via SpMM and its transpose).
+
+The N:M selection is treated as a constant of the graph, exactly as the CUDA
+kernels do — the pruning decision is not differentiated through.  The dense
+score matrix is never materialised by autograd; the graph holds a single node
+whose saved state is the compressed probability matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.attention_grad import dfss_attention_bwd
+from repro.core.backend import REFERENCE, resolve_backend
+from repro.core.patterns import resolve_pattern
+from repro.core.sddmm import sddmm_nm
+from repro.core.softmax import sparse_softmax
+from repro.core.sparse import NMSparseMatrix
+from repro.core.spmm import spmm
+from repro.nn.autograd import Tensor
+
+
+def dfss_sparse_attention(
+    q: Tensor,
+    k: Tensor,
+    v: Tensor,
+    pattern="2:4",
+    scale: Optional[float] = None,
+    backend: Optional[str] = None,
+    dropout_p: float = 0.0,
+    dropout_rng: Optional[np.random.Generator] = None,
+    training: bool = False,
+) -> Tuple[Tensor, NMSparseMatrix]:
+    """Differentiable DFSS attention on the compressed pipeline.
+
+    Parameters
+    ----------
+    q, k, v:
+        ``(..., seq, d)`` Tensors sharing their leading batch shape.
+    pattern:
+        N:M pattern of the dynamic pruning (default 2:4).
+    scale:
+        Score scale; defaults to ``1/sqrt(d)``.
+    backend:
+        Kernel backend for every dispatched stage, forward and backward
+        ("reference" or "fast"; default ``$REPRO_BACKEND``, else "fast").
+    dropout_p, dropout_rng, training:
+        Optional inverted dropout applied to the compressed attention
+        probabilities (the masked analogue of dropout on the dense attention
+        weights).  Active only when ``training`` is true and ``p > 0``, in
+        which case ``dropout_rng`` (a seeded Generator) is required —
+        dropout in this repo is deterministic under a seed.
+
+    Returns
+    -------
+    ``(out, probs)`` where ``out`` is the ``(..., seq, d)`` output Tensor and
+    ``probs`` the compressed (pre-dropout) probability matrix, useful for
+    mask/weight introspection.
+    """
+    pattern = resolve_pattern(pattern)
+    d = q.shape[-1]
+    if scale is None:
+        scale = 1.0 / np.sqrt(d)
+    scale = float(scale)
+
+    scores = sddmm_nm(q.data, k.data, pattern=pattern, scale=scale, backend=backend)
+    probs = sparse_softmax(scores, backend=backend)
+    if resolve_backend(backend) != REFERENCE:
+        # one metadata walk per step: the forward SpMM and the backward
+        # kernels share the scattered tile (the reference loops never use it)
+        probs.to_scattered(cache=True)
+
+    drop_keep: Optional[np.ndarray] = None
+    if training and dropout_p > 0.0:
+        if dropout_p >= 1.0:
+            raise ValueError("dropout probability must be < 1")
+        if dropout_rng is None:
+            # dropout in this repo is deterministic under a seed (see
+            # nn.layers.Dropout); an implicit unseeded generator would
+            # silently break experiment reproducibility
+            raise ValueError("dropout_p > 0 requires an explicit dropout_rng")
+        drop_keep = (dropout_rng.random(probs.values.shape) >= dropout_p).astype(
+            np.float32
+        ) / np.float32(1.0 - dropout_p)
+        applied = probs.with_values(probs.values * drop_keep)
+    else:
+        applied = probs
+    out_data = spmm(applied, v.data, backend=backend)
+
+    def backward(out):
+        def fn():
+            d_q, d_k, d_v = dfss_attention_bwd(
+                probs, q.data, k.data, v.data, out.grad, scale,
+                drop_keep=drop_keep, out=out.data, backend=backend,
+            )
+            if q.requires_grad:
+                q._accumulate(d_q)
+            if k.requires_grad:
+                k._accumulate(d_k)
+            if v.requires_grad:
+                v._accumulate(d_v)
+
+        return fn
+
+    out = q._make(out_data, (q, k, v), backward, "dfss_attention")
+    return out, probs

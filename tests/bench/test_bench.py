@@ -113,7 +113,7 @@ class TestPerfGate:
     def test_identical_payloads_pass(self, payloads):
         gate = _load_gate()
         base, fresh = payloads
-        failures, _ = gate.check(fresh, base, min_e2e_speedup=0.0)
+        failures, _ = gate.check(fresh, base, min_e2e_speedup=0.0, min_train_speedup=0.0)
         assert failures == []
 
     def test_parity_mismatch_fails(self, payloads):
@@ -122,7 +122,7 @@ class TestPerfGate:
         for row in fresh["results"]:
             if row["backend"] == "fast" and row["kernel"] == "spmm":
                 row["parity_max_rel_err"] = 0.5
-        failures, _ = gate.check(fresh, base, min_e2e_speedup=0.0)
+        failures, _ = gate.check(fresh, base, min_e2e_speedup=0.0, min_train_speedup=0.0)
         assert any("parity" in f for f in failures)
 
     def test_single_kernel_slowdown_fails(self, payloads):
@@ -133,7 +133,7 @@ class TestPerfGate:
                 # a real 10x regression moves both the median and the speedup
                 row["median_s"] *= 10.0
                 row["speedup"] /= 10.0
-        failures, _ = gate.check(fresh, base, min_e2e_speedup=0.0)
+        failures, _ = gate.check(fresh, base, min_e2e_speedup=0.0, min_train_speedup=0.0)
         assert any("slowdown" in f or "speedup" in f for f in failures)
 
     def test_uniform_machine_slowdown_passes(self, payloads):
@@ -143,14 +143,14 @@ class TestPerfGate:
             row["median_s"] *= 3.0
             row["p10_s"] *= 3.0
             row["p90_s"] *= 3.0
-        failures, _ = gate.check(fresh, base, min_e2e_speedup=0.0)
+        failures, _ = gate.check(fresh, base, min_e2e_speedup=0.0, min_train_speedup=0.0)
         assert failures == []
 
     def test_missing_row_fails_coverage(self, payloads):
         gate = _load_gate()
         base, fresh = payloads
         fresh["results"] = [r for r in fresh["results"] if r["kernel"] != "sddmm_nm"]
-        failures, _ = gate.check(fresh, base, min_e2e_speedup=0.0)
+        failures, _ = gate.check(fresh, base, min_e2e_speedup=0.0, min_train_speedup=0.0)
         assert any("coverage" in f for f in failures)
 
     def test_speedup_collapse_fails(self, payloads):
@@ -159,7 +159,7 @@ class TestPerfGate:
         for row in fresh["results"]:
             if row["backend"] == "fast":
                 row["speedup"] = 0.1
-        failures, _ = gate.check(fresh, base, min_e2e_speedup=0.0)
+        failures, _ = gate.check(fresh, base, min_e2e_speedup=0.0, min_train_speedup=0.0)
         assert any("speedup" in f for f in failures)
 
     def test_e2e_floor(self, payloads):
@@ -168,8 +168,30 @@ class TestPerfGate:
         for row in fresh["results"]:
             if row["kernel"] == "attention_e2e" and row["backend"] == "fast":
                 row["speedup"] = 2.0
-        failures, _ = gate.check(fresh, base, min_e2e_speedup=3.0)
+        failures, _ = gate.check(fresh, base, min_e2e_speedup=3.0, min_train_speedup=0.0)
         assert any("e2e floor" in f for f in failures)
+
+    def test_train_floor(self, payloads):
+        gate = _load_gate()
+        base, fresh = payloads
+        for row in fresh["results"]:
+            if row["kernel"] == "attention_train_step" and row["backend"] == "fast":
+                row["speedup"] = 1.2
+        failures, _ = gate.check(
+            fresh, base, min_e2e_speedup=0.0, min_train_speedup=2.0
+        )
+        assert any("train floor" in f for f in failures)
+
+    def test_train_floor_requires_rows(self, payloads):
+        gate = _load_gate()
+        base, fresh = payloads
+        fresh["results"] = [
+            r for r in fresh["results"] if r["kernel"] != "attention_train_step"
+        ]
+        failures, _ = gate.check(
+            fresh, fresh, min_e2e_speedup=0.0, min_train_speedup=2.0
+        )
+        assert any("train floor" in f for f in failures)
 
     def test_committed_baseline_is_valid(self):
         gate = _load_gate()
@@ -178,5 +200,10 @@ class TestPerfGate:
         assert rows, "baseline has no rows"
         e2e = [r for (k, _, b), r in rows.items() if k == "attention_e2e" and b == "fast"]
         assert e2e and all(r["speedup"] >= 3.0 for r in e2e)
+        train = [
+            r for (k, _, b), r in rows.items()
+            if k == "attention_train_step" and b == "fast"
+        ]
+        assert train and all(r["speedup"] >= 2.0 for r in train)
         failures, factor = gate.check(payload, payload)
         assert failures == [] and factor == 1.0
