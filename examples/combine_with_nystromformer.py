@@ -12,29 +12,25 @@ import argparse
 
 import numpy as np
 
-from repro.baselines import (
-    DfssBigBirdAttention,
-    DfssLinformerAttention,
-    DfssNystromformerAttention,
-    NystromformerAttention,
-)
+from repro import AttentionEngine
 from repro.experiments.table6_nystrom_dfss import run as run_table6
 
 
 def main(scale: str = "smoke", seed: int = 0) -> None:
-    # 1. forward-only combination operators on random tensors
+    # 1. forward-only combination operators, constructed through the registry
     rng = np.random.default_rng(seed)
     q = rng.normal(size=(2, 128, 64)).astype(np.float32) * 0.5
     k = rng.normal(size=(2, 128, 64)).astype(np.float32) * 0.5
     v = rng.normal(size=(2, 128, 64)).astype(np.float32)
-    for mech in (
-        NystromformerAttention(num_landmarks=32),
-        DfssNystromformerAttention(num_landmarks=32, pattern="2:4"),
-        DfssBigBirdAttention(block_size=32, pattern="2:4"),
-        DfssLinformerAttention(proj_dim=32, pattern="2:4"),
+    for engine in (
+        AttentionEngine("nystromformer", num_landmarks=32),
+        AttentionEngine("nystromformer_dfss", num_landmarks=32, pattern="2:4"),
+        AttentionEngine("bigbird_dfss", block_size=32, pattern="2:4"),
+        AttentionEngine("linformer_dfss", proj_dim=32, pattern="2:4"),
     ):
-        out = mech(q, k, v)
-        print(f"{type(mech).__name__:32s} output {out.shape}, "
+        out = engine(q, k, v)
+        mech = engine.mechanism()
+        print(f"{engine.spec.label:32s} output {out.shape}, "
               f"approx. error vs full attention {mech.approximation_error(q, k, v):.3f}")
 
     # 2. the Table-6 experiment: pretrain Nystromformer, finetune the combination

@@ -8,22 +8,17 @@ Run with ``python examples/lra_text_classification.py [--scale smoke|default|ful
 
 import argparse
 
-from repro.experiments.table4_lra import train_and_evaluate
+from repro.experiments.table4_lra import ALL_MECHANISMS, resolve_mechanism_labels, train_and_evaluate
 
-
-MECHANISMS = (
-    ("Transformer (full)", "full", {}),
-    ("Dfss 1:2", "dfss", {"pattern": "1:2"}),
-    ("Dfss 2:4", "dfss", {"pattern": "2:4"}),
-    ("Local Attention", "local", {"window": 8}),
-    ("Linformer", "linformer", {"proj_dim": 32}),
-)
+#: Registry selectors; labels and kwargs come from the unified Table-4 catalogue.
+MECHANISMS = ("full", "dfss_1:2", "dfss_2:4", "local", "linformer")
 
 
 def main(scale: str = "smoke", seed: int = 0, task: str = "text") -> None:
     print(f"task={task}  scale={scale}\n")
     results = []
-    for label, mechanism, kwargs in MECHANISMS:
+    for label in resolve_mechanism_labels(MECHANISMS):
+        mechanism, kwargs = ALL_MECHANISMS[label]
         acc = train_and_evaluate(task, mechanism, kwargs, scale, seed)
         results.append((label, acc))
         print(f"{label:22s} accuracy = {acc:.2f}%")

@@ -14,7 +14,7 @@ from repro.utils.formatting import format_table
 
 
 def main() -> None:
-    mechanisms = ("transformer", "dfss", "performer", "reformer", "routing",
+    mechanisms = ("full", "dfss", "performer", "reformer", "routing",
                   "sinkhorn", "nystromformer")
 
     print("Attention latency normalised to the dense transformer (bfloat16, h=4, d=64)\n")

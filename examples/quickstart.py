@@ -5,9 +5,11 @@ Run with ``python examples/quickstart.py``.
 
 import numpy as np
 
-from repro.core import DfssAttention, full_attention, sddmm_nm
+import repro
+from repro.core import sddmm_nm
 from repro.core.theory import speedup_dfss
-from repro.gpusim import AttentionConfig, attention_speedup
+from repro.gpusim import attention_speedup
+from repro.gpusim.attention_latency import AttentionConfig
 
 
 def main() -> None:
@@ -17,17 +19,24 @@ def main() -> None:
     k = rng.normal(size=(batch, heads, seq, dim)).astype(np.float32)
     v = rng.normal(size=(batch, heads, seq, dim)).astype(np.float32)
 
-    # --- the three lines a user changes (Figure 3) -------------------------
+    # --- the one line a user changes (Figure 3) ----------------------------
     # before: out = softmax(q @ k.T / sqrt(d)) @ v
-    out_full = full_attention(q, k, v)
+    out_full = repro.attention(q, k, v, mechanism="full")
     # after:
-    attn = DfssAttention(pattern="2:4", dtype="bfloat16")
-    out_dfss = attn(q, k, v)
+    out_dfss = repro.attention(q, k, v, mechanism="dfss_2:4", dtype="bfloat16")
     # -----------------------------------------------------------------------
 
     rel_err = np.linalg.norm(out_dfss - out_full) / np.linalg.norm(out_full)
     print(f"output shape                : {out_dfss.shape}")
     print(f"relative error vs full attn : {rel_err:.4f}")
+
+    # the same mechanism as a reusable engine, with introspection
+    engine = repro.AttentionEngine("dfss", pattern="2:4", dtype="bfloat16")
+    info = engine.describe()
+    flags = {key: info[key] for key in
+             ("trainable", "produces_mask", "compressed", "supports_block_mask")}
+    print(f"engine                      : {engine!r} flags={flags}")
+    print(f"registered mechanisms       : {', '.join(repro.available_mechanisms())}")
 
     # the compressed representation the kernel writes to memory
     scores = sddmm_nm(q[0, 0], k[0, 0], pattern="2:4", dtype="bfloat16")

@@ -1,17 +1,27 @@
 """repro — reproduction of "Dynamic N:M Fine-grained Structured Sparse Attention".
 
-Top-level convenience re-exports; see :mod:`repro.core` for the DFSS
-mechanism, :mod:`repro.gpusim` for the A100-like performance model,
-:mod:`repro.baselines` for comparator attention mechanisms, :mod:`repro.nn`
-for the numpy transformer stack and :mod:`repro.experiments` for the
-table/figure reproduction harness.
+Public API: :func:`repro.attention` / :class:`repro.AttentionEngine` construct
+and run any registered attention mechanism through the unified registry
+(:mod:`repro.registry`); :func:`repro.available_mechanisms` enumerates them
+with capability flags.  See :mod:`repro.core` for the DFSS kernels,
+:mod:`repro.gpusim` for the A100-like performance model,
+:mod:`repro.baselines` for comparator implementations, :mod:`repro.nn` for
+the numpy transformer stack and :mod:`repro.experiments` for the table/figure
+reproduction harness.
 """
 
 from repro.core import DfssAttention, dfss_attention, full_attention, NMSparseMatrix
+from repro.engine import AttentionConfig, AttentionEngine, attention, available_mechanisms
+from repro.registry import describe_mechanism
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "attention",
+    "AttentionEngine",
+    "AttentionConfig",
+    "available_mechanisms",
+    "describe_mechanism",
     "DfssAttention",
     "dfss_attention",
     "full_attention",

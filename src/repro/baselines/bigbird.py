@@ -6,9 +6,17 @@ import numpy as np
 
 from repro.baselines.base import AttentionMechanism, register
 from repro.core.blocked_ell import bigbird_mask
+from repro.registry import BigBirdConfig, register_mechanism
 from repro.utils.seeding import SeedLike
 
 
+@register_mechanism(
+    "bigbird",
+    config=BigBirdConfig,
+    label="BigBird",
+    description="Blocked window/global/random pattern (Zaheer et al.)",
+    produces_mask=True,
+)
 @register
 class BigBirdAttention(AttentionMechanism):
     """Blocked window/global/random pattern of Zaheer et al."""

@@ -24,8 +24,22 @@ from repro.core.pruning import nm_prune_mask
 from repro.core.sddmm import sddmm_dense, sddmm_nm
 from repro.core.softmax import sparse_softmax
 from repro.core.spmm import spmm
+from repro.registry import (
+    BigBirdDfssConfig,
+    LinformerDfssConfig,
+    NystromDfssConfig,
+    register_mechanism,
+)
 
 
+@register_mechanism(
+    "nystromformer_dfss",
+    config=NystromDfssConfig,
+    label="Nystromformer + Dfss",
+    description="Nyströmformer with DFSS-pruned softmax kernels (Appendix A.7)",
+    aliases=("nystrom_dfss",),
+    compressed=True,
+)
 @register
 class DfssNystromformerAttention(AttentionMechanism):
     """Nyströmformer with its two large kernels pruned to dynamic N:M sparsity.
@@ -72,6 +86,16 @@ class DfssNystromformerAttention(AttentionMechanism):
         return np.matmul(left, right)
 
 
+@register_mechanism(
+    "bigbird_dfss",
+    config=BigBirdDfssConfig,
+    label="BigBird + Dfss",
+    description="BigBird block sparsity with N:M pruning inside the blocks",
+    aliases=("dfss_bigbird",),
+    produces_mask=True,
+    compressed=True,
+    supports_block_mask=True,
+)
 @register
 class DfssBigBirdAttention(AttentionMechanism):
     """BigBird block sparsity with N:M pruning inside the surviving blocks."""
@@ -96,6 +120,14 @@ class DfssBigBirdAttention(AttentionMechanism):
         return self.masked_attention(q, k, v, self.attention_mask(q, k))
 
 
+@register_mechanism(
+    "linformer_dfss",
+    config=LinformerDfssConfig,
+    label="Linformer + Dfss",
+    description="Linformer with the projected score matrix pruned to N:M",
+    aliases=("dfss_linformer",),
+    compressed=True,
+)
 @register
 class DfssLinformerAttention(AttentionMechanism):
     """Linformer with the ``Q (E K)ᵀ`` score matrix pruned to N:M on the fly."""

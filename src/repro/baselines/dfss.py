@@ -12,8 +12,19 @@ from repro.core.blocked_ell import BlockedEllMask
 from repro.core.patterns import default_pattern_for_dtype, resolve_pattern
 from repro.core.pruning import nm_prune_mask
 from repro.core.sddmm import sddmm_dense
+from repro.registry import DfssConfig, register_mechanism
 
 
+@register_mechanism(
+    "dfss",
+    config=DfssConfig,
+    label="Dfss",
+    description="Dynamic N:M fine-grained structured sparse attention (ours)",
+    produces_mask=True,
+    compressed=True,
+    supports_block_mask=True,
+    latency_model="dfss",
+)
 @register
 class DfssMechanism(AttentionMechanism):
     """Dynamic N:M fine-grained structured sparse attention ("ours")."""
@@ -41,7 +52,12 @@ class DfssMechanism(AttentionMechanism):
 
     def attention_mask(self, q: np.ndarray, k: np.ndarray) -> np.ndarray:
         scores = sddmm_dense(q, k, dtype=self.dtype)
-        mask = nm_prune_mask(scores, self.pattern)
         if self.block_mask is not None:
-            mask = mask & self.block_mask.dense_mask(scores.shape[-2], scores.shape[-1])
-        return mask
+            # mask scores before the N:M selection, matching the sddmm_nm
+            # epilogue (a group straddling a block boundary must promote
+            # allowed runners-up, not keep excluded columns)
+            from repro.core.sddmm import MASKED_SCORE
+
+            allowed = self.block_mask.dense_mask(scores.shape[-2], scores.shape[-1])
+            return nm_prune_mask(np.where(allowed, scores, MASKED_SCORE), self.pattern) & allowed
+        return nm_prune_mask(scores, self.pattern)

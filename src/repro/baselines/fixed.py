@@ -16,6 +16,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.baselines.base import AttentionMechanism, register
+from repro.registry import (
+    LocalConfig,
+    StridedConfig,
+    TruncatedConfig,
+    register_mechanism,
+)
 
 
 def local_window_mask(n_q: int, n_k: int, window: int) -> np.ndarray:
@@ -55,6 +61,14 @@ class _FixedMaskAttention(AttentionMechanism):
         return self.masked_attention(q, k, v, self._mask_2d(q.shape[-2], k.shape[-2]))
 
 
+@register_mechanism(
+    "local",
+    config=LocalConfig,
+    label="Local Attention",
+    description="Sliding-window local attention (Image Transformer)",
+    aliases=("local_window",),
+    produces_mask=True,
+)
 @register
 class LocalWindowAttention(_FixedMaskAttention):
     """Sliding-window attention with half-width ``window``."""
@@ -70,6 +84,14 @@ class LocalWindowAttention(_FixedMaskAttention):
         return local_window_mask(n_q, n_k, self.window)
 
 
+@register_mechanism(
+    "sparse_transformer",
+    config=StridedConfig,
+    label="Sparse Trans.",
+    description="Local + strided fixed pattern (Child et al.)",
+    aliases=("strided",),
+    produces_mask=True,
+)
 @register
 class StridedSparseAttention(_FixedMaskAttention):
     """Sparse-Transformer-style local + strided pattern."""
@@ -86,6 +108,15 @@ class StridedSparseAttention(_FixedMaskAttention):
         return strided_mask(n_q, n_k, self.window, self.stride)
 
 
+@register_mechanism(
+    "fixed_truncated",
+    config=TruncatedConfig,
+    label="Fixed (truncated)",
+    description="Keep a fixed leading fraction of key columns (Appendix A.4)",
+    aliases=("fixed", "truncated"),
+    produces_mask=True,
+    latency_model="fixed",
+)
 @register
 class TruncatedAttention(_FixedMaskAttention):
     """Keep a fixed leading fraction of key columns (Appendix A.4 fixed pattern)."""

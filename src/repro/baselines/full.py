@@ -6,8 +6,18 @@ import numpy as np
 
 from repro.baselines.base import AttentionMechanism, register
 from repro.core.attention import full_attention
+from repro.registry import FullConfig, register_mechanism
 
 
+@register_mechanism(
+    "full",
+    config=FullConfig,
+    label="Transformer (full)",
+    description="Dense full-quadratic attention (the paper's baseline)",
+    aliases=("transformer", "dense"),
+    produces_mask=True,
+    latency_model="transformer",
+)
 @register
 class FullAttention(AttentionMechanism):
     """``softmax(Q Kᵀ / sqrt(d)) V`` computed densely (Eq. 1)."""

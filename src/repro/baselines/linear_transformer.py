@@ -9,6 +9,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.baselines.base import AttentionMechanism, register
+from repro.registry import LinearTransformerConfig, register_mechanism
 
 
 def elu_feature_map(x: np.ndarray) -> np.ndarray:
@@ -17,6 +18,12 @@ def elu_feature_map(x: np.ndarray) -> np.ndarray:
     return np.where(x > 0, x + 1.0, np.exp(np.minimum(x, 0.0)))
 
 
+@register_mechanism(
+    "linear_transformer",
+    config=LinearTransformerConfig,
+    label="Linear Trans.",
+    description="Kernelised linear attention with the elu+1 feature map",
+)
 @register
 class LinearTransformerAttention(AttentionMechanism):
     """Kernelised linear attention with the elu+1 feature map."""

@@ -12,9 +12,16 @@ import numpy as np
 
 from repro.baselines.base import AttentionMechanism, register
 from repro.core.softmax import dense_softmax
+from repro.registry import LinformerConfig, register_mechanism
 from repro.utils.seeding import new_rng
 
 
+@register_mechanism(
+    "linformer",
+    config=LinformerConfig,
+    label="Linformer",
+    description="Low-rank key/value projection (Wang et al.)",
+)
 @register
 class LinformerAttention(AttentionMechanism):
     """Low-rank (n -> k) projection of the attention context."""

@@ -6,6 +6,7 @@ import numpy as np
 
 from repro.baselines.base import AttentionMechanism, register
 from repro.baselines.fixed import local_window_mask
+from repro.registry import LongformerConfig, register_mechanism
 
 
 def longformer_mask(n_q: int, n_k: int, window: int, num_global: int) -> np.ndarray:
@@ -17,6 +18,13 @@ def longformer_mask(n_q: int, n_k: int, window: int, num_global: int) -> np.ndar
     return mask
 
 
+@register_mechanism(
+    "longformer",
+    config=LongformerConfig,
+    label="Longformer",
+    description="Sliding window plus global tokens (Beltagy et al.)",
+    produces_mask=True,
+)
 @register
 class LongformerAttention(AttentionMechanism):
     """Fixed window + global-token pattern (Beltagy et al.)."""

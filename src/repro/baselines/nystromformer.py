@@ -18,6 +18,7 @@ from typing import Tuple
 import numpy as np
 
 from repro.baselines.base import AttentionMechanism, register
+from repro.registry import NystromformerConfig, register_mechanism
 from repro.core.softmax import dense_softmax
 
 
@@ -51,6 +52,14 @@ def newton_schulz_pinv(a: np.ndarray, iters: int = 6) -> np.ndarray:
     return z
 
 
+@register_mechanism(
+    "nystromformer",
+    config=NystromformerConfig,
+    label="Nystromformer",
+    description="Nyström landmark approximation (Xiong et al.)",
+    aliases=("nystrom",),
+    latency_model="nystromformer",
+)
 @register
 class NystromformerAttention(AttentionMechanism):
     """Nyström landmark approximation of softmax attention."""

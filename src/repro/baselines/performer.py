@@ -14,6 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.baselines.base import AttentionMechanism, register
+from repro.registry import PerformerConfig, register_mechanism
 from repro.utils.seeding import new_rng
 
 
@@ -32,6 +33,13 @@ def orthogonal_random_features(num_features: int, dim: int, rng) -> np.ndarray:
     return (w * norms).astype(np.float32)
 
 
+@register_mechanism(
+    "performer",
+    config=PerformerConfig,
+    label="Performer",
+    description="FAVOR+ positive orthogonal random features (Choromanski et al.)",
+    latency_model="performer",
+)
 @register
 class PerformerAttention(AttentionMechanism):
     """FAVOR+ positive orthogonal random-feature attention."""

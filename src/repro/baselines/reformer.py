@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.baselines.base import AttentionMechanism, register
+from repro.registry import ReformerConfig, register_mechanism
 from repro.utils.seeding import new_rng
 
 
@@ -27,6 +28,14 @@ def lsh_bucket_ids(x: np.ndarray, n_buckets: int, n_hashes: int, rng) -> np.ndar
     return np.argmax(full, axis=-1)  # (..., n, n_hashes)
 
 
+@register_mechanism(
+    "reformer",
+    config=ReformerConfig,
+    label="Reformer",
+    description="LSH-bucketed attention (Kitaev et al.)",
+    produces_mask=True,
+    latency_model="reformer",
+)
 @register
 class ReformerAttention(AttentionMechanism):
     """LSH-bucketed attention mask (shared-bucket pairs attend to each other)."""

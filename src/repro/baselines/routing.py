@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.baselines.base import AttentionMechanism, register
+from repro.registry import RoutingConfig, register_mechanism
 from repro.utils.seeding import new_rng
 
 
@@ -32,6 +33,14 @@ def kmeans_assign(points: np.ndarray, n_clusters: int, iters: int, rng) -> np.nd
     return np.argmax(pts @ centroids.T, axis=-1)
 
 
+@register_mechanism(
+    "routing",
+    config=RoutingConfig,
+    label="Routing Trans.",
+    description="k-means routed attention (Roy et al.)",
+    produces_mask=True,
+    latency_model="routing",
+)
 @register
 class RoutingTransformerAttention(AttentionMechanism):
     """k-means routed attention: attend within the shared cluster."""

@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.baselines.base import AttentionMechanism, register
+from repro.registry import SinkhornConfig, register_mechanism
 
 
 def sinkhorn_normalise(scores: np.ndarray, iters: int = 8) -> np.ndarray:
@@ -24,6 +25,14 @@ def sinkhorn_normalise(scores: np.ndarray, iters: int = 8) -> np.ndarray:
     return np.exp(log_p).astype(np.float32)
 
 
+@register_mechanism(
+    "sinkhorn",
+    config=SinkhornConfig,
+    label="Sinkhorn Trans.",
+    description="Block-matched Sinkhorn attention (Tay et al.)",
+    produces_mask=True,
+    latency_model="sinkhorn",
+)
 @register
 class SinkhornAttention(AttentionMechanism):
     """Block-local attention plus one Sinkhorn-matched block per query block."""

@@ -12,9 +12,16 @@ import numpy as np
 
 from repro.baselines.base import AttentionMechanism, register
 from repro.core.softmax import dense_softmax
+from repro.registry import SynthesizerConfig, register_mechanism
 from repro.utils.seeding import new_rng
 
 
+@register_mechanism(
+    "synthesizer",
+    config=SynthesizerConfig,
+    label="Synthesizer",
+    description="Random content-independent attention weights (Tay et al.)",
+)
 @register
 class SynthesizerAttention(AttentionMechanism):
     """Random (content-independent) attention weights."""

@@ -12,8 +12,17 @@ import numpy as np
 from repro.baselines.base import AttentionMechanism, register
 from repro.core.lottery import topk_mask
 from repro.core.sddmm import sddmm_dense
+from repro.registry import TopKConfig, register_mechanism
 
 
+@register_mechanism(
+    "topk",
+    config=TopKConfig,
+    label="Top-K",
+    description="Per-row explicit Top-K masking (oracle upper bound for DFSS)",
+    produces_mask=True,
+    latency_model="topk",
+)
 @register
 class ExplicitTopKAttention(AttentionMechanism):
     """Per-row Top-K masking of the dense score matrix."""

@@ -72,15 +72,20 @@ def SpMM(attn: NMSparseMatrix, metadata: np.ndarray, value: np.ndarray) -> np.nd
 
 
 class DynamicSparseAttention:
-    """Object-style wrapper over the three-call API (one line to construct, one to call)."""
+    """Object-style wrapper over the three-call API (one line to construct, one to call).
+
+    A thin veneer over :class:`repro.engine.AttentionEngine` with
+    ``mechanism="dfss"`` — the Figure-3 spelling of the same registry entry.
+    """
 
     def __init__(self, pattern=None, dtype: str = "float32"):
+        from repro.engine import AttentionEngine
+
         self.dtype = dtype
         self.pattern = (
             default_pattern_for_dtype(dtype) if pattern is None else resolve_pattern(pattern)
         )
+        self._engine = AttentionEngine("dfss", pattern=self.pattern, dtype=dtype)
 
     def __call__(self, query: np.ndarray, key: np.ndarray, value: np.ndarray) -> np.ndarray:
-        nonzeros, metadata = GEMM(query, key, pattern=self.pattern, dtype=self.dtype)
-        attn = Softmax(nonzeros)
-        return SpMM(attn, metadata, value)
+        return self._engine(query, key, value)

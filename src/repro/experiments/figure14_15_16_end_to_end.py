@@ -13,9 +13,14 @@ from typing import Dict, List, Optional
 from repro.experiments.common import resolve_scale
 from repro.gpusim.end_to_end import LayerConfig, end_to_end_breakdown, end_to_end_speedup
 from repro.gpusim.memory import end_to_end_peak_memory
+from repro.registry import canonical_name
 from repro.utils.formatting import format_table
 
-MECHANISMS = ("dfss", "performer", "reformer", "routing", "sinkhorn", "nystromformer")
+#: Canonical registry names of the Appendix-A.6 mechanisms.
+MECHANISMS = tuple(
+    canonical_name(m)
+    for m in ("dfss", "performer", "reformer", "routing", "sinkhorn", "nystromformer")
+)
 SEQ_LENS = (512, 1024, 2048, 4096)
 HEADS = (4, 8)
 HIDDENS = (256, 512, 1024)
@@ -67,10 +72,10 @@ def run_figure15(scale: Optional[str] = None, seed: int = 0) -> Dict:
         for hidden in hiddens:
             for n in seq_lens:
                 cfg = LayerConfig(seq_len=n, num_heads=h, ffn_hidden=hidden, dtype="bfloat16")
-                table = end_to_end_breakdown(cfg, mechanisms=("transformer", "dfss"))
+                table = end_to_end_breakdown(cfg, mechanisms=("full", "dfss"))
                 rows.append([
                     h, hidden, n,
-                    table["transformer"]["attention"], table["transformer"]["others"],
+                    table["full"]["attention"], table["full"]["others"],
                     table["dfss"]["attention"], table["dfss"]["others"],
                     table["dfss"]["speedup"],
                 ])
@@ -94,7 +99,7 @@ def run_figure16(scale: Optional[str] = None, seed: int = 0) -> Dict:
             for hidden in hiddens:
                 for n in seq_lens:
                     cfg = LayerConfig(seq_len=n, num_heads=h, ffn_hidden=hidden, dtype=dtype)
-                    dense = end_to_end_peak_memory("transformer", cfg)
+                    dense = end_to_end_peak_memory("full", cfg)
                     row = [dtype, h, hidden, n]
                     for mech in MECHANISMS:
                         frac = end_to_end_peak_memory(mech, cfg) / dense

@@ -12,9 +12,15 @@ from typing import Dict, List, Optional
 
 from repro.experiments.common import resolve_scale
 from repro.gpusim.attention_latency import AttentionConfig, latency_breakdown_table
+from repro.registry import canonical_name
 from repro.utils.formatting import format_table
 
-MECHANISMS = ("transformer", "dfss", "performer", "reformer", "routing", "sinkhorn", "nystromformer")
+#: Canonical registry names of the Figure-5 mechanisms (``full`` is the dense
+#: transformer the other rows are normalised against).
+MECHANISMS = tuple(
+    canonical_name(m)
+    for m in ("full", "dfss", "performer", "reformer", "routing", "sinkhorn", "nystromformer")
+)
 SEQ_LENS = (256, 512, 1024, 2048, 4096)
 DTYPES = ("float32", "bfloat16")
 

@@ -69,6 +69,29 @@ def list_experiments() -> List[str]:
     return sorted(EXPERIMENTS)
 
 
+def table4_mechanisms() -> List[Dict]:
+    """The Table-4 mechanism catalogue, resolved through the unified registry.
+
+    Each entry carries the display label used by the ``table4`` experiment,
+    the canonical :mod:`repro.registry` name it resolves to, the
+    experiment-scale kwargs, and the spec's capability flags — the same specs
+    ``repro.available_mechanisms()`` enumerates, so experiment naming cannot
+    drift from the construction API.
+    """
+    from repro.registry import find_spec
+
+    entries = []
+    for label, (name, kwargs) in table4_lra.ALL_MECHANISMS.items():
+        spec = find_spec(name)
+        entries.append({
+            "label": label,
+            "mechanism": spec.name,
+            "kwargs": dict(kwargs),
+            **spec.capabilities(),
+        })
+    return entries
+
+
 def get_experiment(key: str) -> Experiment:
     if key not in EXPERIMENTS:
         raise KeyError(f"unknown experiment {key!r}; available: {list_experiments()}")

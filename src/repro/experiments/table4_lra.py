@@ -31,26 +31,79 @@ from repro.experiments.common import (
 )
 from repro.nn.trainer import Trainer, evaluate_classification
 from repro.nn.transformer import DualSequenceClassifier, SequenceClassifier
+from repro.registry import canonical_name, find_spec
 from repro.utils.formatting import format_table
 
-#: Mechanism label -> (mechanism name, kwargs); ordering follows Table 4.
-ALL_MECHANISMS = {
-    "Transformer (full)": ("full", {}),
-    "Local Attention": ("local", {"window": 8}),
-    "Sparse Trans.": ("sparse_transformer", {"window": 4, "stride": 16}),
-    "Longformer": ("longformer", {"window": 8, "num_global": 2}),
-    "Linformer": ("linformer", {"proj_dim": 32}),
-    "Reformer": ("reformer", {"n_buckets": 8, "n_hashes": 2}),
-    "Sinkhorn Trans.": ("sinkhorn", {"block_size": 16}),
-    "Synthesizer": ("synthesizer", {}),
-    "BigBird": ("bigbird", {"block_size": 16}),
-    "Linear Trans.": ("linear_transformer", {}),
-    "Performer": ("performer", {"num_features": 64}),
-    "Routing Trans.": ("routing", {"n_clusters": 8}),
-    "Nystromformer": ("nystromformer", {"num_landmarks": 16}),
-    "Dfss 1:2": ("dfss", {"pattern": "1:2"}),
-    "Dfss 2:4": ("dfss", {"pattern": "2:4"}),
-}
+#: Table-4 rows as (canonical registry name, experiment-scale kwargs);
+#: ordering follows Table 4.  Labels come from the registry specs, so the
+#: table and :func:`repro.available_mechanisms` stay in sync by construction.
+TABLE4_ROWS = (
+    ("full", {}),
+    ("local", {"window": 8}),
+    ("sparse_transformer", {"window": 4, "stride": 16}),
+    ("longformer", {"window": 8, "num_global": 2}),
+    ("linformer", {"proj_dim": 32}),
+    ("reformer", {"n_buckets": 8, "n_hashes": 2}),
+    ("sinkhorn", {"block_size": 16}),
+    ("synthesizer", {}),
+    ("bigbird", {"block_size": 16}),
+    ("linear_transformer", {}),
+    ("performer", {"num_features": 64}),
+    ("routing", {"n_clusters": 8}),
+    ("nystromformer", {"num_landmarks": 16}),
+    ("dfss", {"pattern": "1:2"}),
+    ("dfss", {"pattern": "2:4"}),
+)
+
+
+def _row_label(name: str, kwargs: Dict) -> str:
+    spec = find_spec(name)
+    if spec.name == "dfss":
+        return f"{spec.label} {kwargs['pattern']}"
+    return spec.label
+
+
+#: Mechanism label -> (mechanism name, kwargs), labels resolved from the specs.
+ALL_MECHANISMS = {_row_label(name, kwargs): (name, kwargs) for name, kwargs in TABLE4_ROWS}
+
+
+def resolve_mechanism_labels(mechanisms: Iterable[str]) -> List[str]:
+    """Map user-supplied mechanism selectors to Table-4 row labels.
+
+    Accepts the row labels themselves plus anything the unified registry
+    resolves (canonical names, aliases, ``dfss_2:4`` shortcuts); raises
+    ``ValueError`` for selectors that match no Table-4 row.
+    """
+    by_canonical: Dict[str, List[str]] = {}
+    for label, (name, kwargs) in ALL_MECHANISMS.items():
+        by_canonical.setdefault(name, []).append(label)
+    resolved = []
+    for selector in mechanisms:
+        if selector in ALL_MECHANISMS:
+            resolved.append(selector)
+            continue
+        try:
+            canonical = canonical_name(selector)
+        except ValueError:
+            canonical = None
+        if canonical == "dfss":
+            # a pattern-suffixed selector addresses one row, bare "dfss" both
+            suffix = str(selector).lower().replace("dfss", "").strip(" _-")
+            labels = [
+                label
+                for label in by_canonical.get("dfss", [])
+                if not suffix or label.lower().endswith(suffix)
+            ]
+        else:
+            labels = by_canonical.get(canonical, [])
+        if not labels:
+            raise ValueError(
+                f"unknown mechanism labels: [{selector!r}]; "
+                f"expected Table-4 labels {list(ALL_MECHANISMS)} or registry names"
+            )
+        resolved.extend(labels)
+    # overlapping selectors (e.g. "dfss" + "dfss_2:4") must not train a row twice
+    return list(dict.fromkeys(resolved))
 
 #: Subset used at smoke / default scale (dense, ours, and two contrasting baselines).
 DEFAULT_SUBSET = (
@@ -115,10 +168,7 @@ def run(
     elif mechanisms == "all" or mechanisms == ["all"]:
         labels = list(ALL_MECHANISMS)
     else:
-        labels = list(mechanisms)
-        unknown = [l for l in labels if l not in ALL_MECHANISMS]
-        if unknown:
-            raise ValueError(f"unknown mechanism labels: {unknown}")
+        labels = resolve_mechanism_labels(mechanisms)
 
     rows: List[List] = []
     for label in labels:

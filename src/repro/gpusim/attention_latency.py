@@ -275,6 +275,29 @@ ATTENTION_MECHANISMS: Dict[str, Callable[[AttentionConfig], Dict[str, List[OpCos
 }
 
 
+def resolve_latency_model(mechanism: str) -> str:
+    """Resolve a registry mechanism name/alias to its latency-model key.
+
+    Accepts anything :func:`repro.registry.find_spec` accepts (canonical
+    names, aliases, ``dfss_2:4`` shortcuts) as well as the raw model keys of
+    :data:`ATTENTION_MECHANISMS`, so ``attention_latency("full", ...)`` and
+    the historical ``attention_latency("transformer", ...)`` hit the same
+    model.  Raises ``ValueError`` for unknown names and for mechanisms the
+    analytical model does not cover.
+    """
+    from repro.registry import find_spec
+
+    if mechanism in ATTENTION_MECHANISMS:
+        return mechanism
+    spec = find_spec(mechanism)  # ValueError on unknown names
+    if spec.latency_model is None:
+        raise ValueError(
+            f"mechanism {spec.name!r} has no analytical latency model; "
+            f"modelled mechanisms: {sorted(ATTENTION_MECHANISMS)}"
+        )
+    return spec.latency_model
+
+
 def attention_latency(
     mechanism: str,
     config: AttentionConfig,
@@ -282,11 +305,8 @@ def attention_latency(
     **mechanism_kwargs,
 ) -> LatencyBreakdown:
     """Latency breakdown of one attention mechanism at one configuration."""
-    if mechanism not in ATTENTION_MECHANISMS:
-        raise ValueError(
-            f"unknown mechanism {mechanism!r}; expected one of {sorted(ATTENTION_MECHANISMS)}"
-        )
-    staged = ATTENTION_MECHANISMS[mechanism](config, **mechanism_kwargs)
+    model = resolve_latency_model(mechanism)
+    staged = ATTENTION_MECHANISMS[model](config, **mechanism_kwargs)
     return _breakdown(mechanism, staged, device)
 
 

@@ -15,11 +15,7 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.gpusim import ops
-from repro.gpusim.attention_latency import (
-    ATTENTION_MECHANISMS,
-    AttentionConfig,
-    attention_latency,
-)
+from repro.gpusim.attention_latency import AttentionConfig, attention_latency
 from repro.gpusim.device import AMPERE_A100, GpuDevice
 from repro.gpusim.ops import OpCost
 
@@ -91,8 +87,6 @@ def end_to_end_latency(
     -------
     Dict with keys ``attention``, ``others`` and ``total`` (seconds).
     """
-    if mechanism not in ATTENTION_MECHANISMS:
-        raise ValueError(f"unknown mechanism {mechanism!r}")
     attn = attention_latency(mechanism, cfg.attention_config(), device).total
     others = ops.total_latency(_other_component_kernels(cfg), device) / other_speedup
     per_layer = attn + others

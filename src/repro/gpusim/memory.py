@@ -31,7 +31,16 @@ def _base_activations_bytes(cfg: LayerConfig) -> float:
 
 
 def attention_peak_memory(mechanism: str, cfg: LayerConfig) -> float:
-    """Peak bytes attributable to the attention weight structures of one layer."""
+    """Peak bytes attributable to the attention weight structures of one layer.
+
+    ``mechanism`` is resolved through the unified registry
+    (:func:`repro.gpusim.attention_latency.resolve_latency_model`), so
+    canonical names (``full``, ``fixed_truncated``) and the historical model
+    keys (``transformer``, ``fixed``) address the same entry.
+    """
+    from repro.gpusim.attention_latency import resolve_latency_model
+
+    mechanism = resolve_latency_model(mechanism)
     elem = dtype_bytes(cfg.dtype)
     b, h, n, d = cfg.batch_size, cfg.num_heads, cfg.seq_len, cfg.head_dim
     heads = b * h

@@ -26,13 +26,14 @@ from typing import Callable, Dict, Optional
 
 import numpy as np
 
+import repro.baselines  # noqa: F401  populate the mechanism registry first
 from repro.baselines.fixed import local_window_mask, strided_mask, truncated_mask
 from repro.baselines.longformer import longformer_mask
 from repro.baselines.reformer import ReformerAttention
 from repro.baselines.routing import RoutingTransformerAttention
 from repro.baselines.sinkhorn import SinkhornAttention
 from repro.core.backend import get_kernel
-from repro.core.blocked_ell import bigbird_mask
+from repro.core.blocked_ell import BlockedEllMask, bigbird_mask
 from repro.core.lottery import topk_mask
 from repro.core.patterns import resolve_pattern
 from repro.core.pruning import global_column_indices
@@ -40,7 +41,8 @@ from repro.nn import functional as F
 from repro.nn.autograd import Tensor
 from repro.nn.layers import Dropout, Linear, Module
 from repro.nn.sparse_attention import dfss_sparse_attention
-from repro.utils.seeding import new_rng
+from repro.registry import make_core, register_mechanism
+from repro.utils.seeding import attention_dropout_keep, draw_dropout_seed, new_rng
 
 
 # --------------------------------------------------------------------- cores
@@ -71,6 +73,7 @@ class AttentionCore:
         return getattr(self, "_last_mask", None)
 
 
+@register_mechanism("full", role="core")
 class FullCore(AttentionCore):
     name = "full"
 
@@ -100,6 +103,7 @@ class MaskedScoreCore(AttentionCore):
         return weights @ v
 
 
+@register_mechanism("dfss", role="core")
 class DfssCore(MaskedScoreCore):
     """Dynamic N:M pruning of the score matrix (the paper's mechanism).
 
@@ -112,6 +116,16 @@ class DfssCore(MaskedScoreCore):
     densely and autograd differentiates a masked softmax, with only the N:M
     selection dispatched through the kernel registry.  Both paths treat the
     selection as a constant of the graph, exactly as the paper's kernel does.
+
+    ``block_mask`` optionally adds the hybrid blocked-ELL coarse sparsity on
+    top of the N:M selection, on both paths.
+
+    Attention dropout is derived layout-independently: both paths draw one
+    seed per forward call from the layer's dropout generator and hash it with
+    the *dense* position of every attention weight
+    (:func:`repro.utils.seeding.attention_dropout_keep`), so seeded
+    ``path="sparse"`` and ``path="dense"`` runs drop the same (row, column)
+    entries and stay comparable under ``dropout > 0``.
     """
 
     name = "dfss"
@@ -119,17 +133,43 @@ class DfssCore(MaskedScoreCore):
     PATHS = ("sparse", "dense")
 
     def __init__(
-        self, pattern="2:4", backend: Optional[str] = None, path: str = "sparse"
+        self,
+        pattern="2:4",
+        backend: Optional[str] = None,
+        path: str = "sparse",
+        block_mask: Optional[BlockedEllMask] = None,
     ):
         self.pattern = resolve_pattern(pattern)
         self.backend = backend
         if path not in self.PATHS:
             raise ValueError(f"unknown path {path!r}; expected one of {self.PATHS}")
         self.path = path
+        self.block_mask = block_mask
         self._last_structure = None
 
     def _mask(self, scores, q, k):
+        if self.block_mask is not None:
+            # exclude blocked scores BEFORE the N:M selection, exactly like
+            # the sddmm_nm epilogue, so a group straddling a block boundary
+            # promotes allowed runners-up instead of keeping excluded columns
+            from repro.core.sddmm import MASKED_SCORE
+
+            allowed = self.block_mask.dense_mask(scores.shape[-2], scores.shape[-1])
+            scores = np.where(allowed, scores, MASKED_SCORE)
+            return get_kernel("nm_prune_mask", self.backend)(scores, self.pattern) & allowed
         return get_kernel("nm_prune_mask", self.backend)(scores, self.pattern)
+
+    def _apply_prob_dropout(self, weights: Tensor) -> Tensor:
+        # layout-independent derivation (dense side): hash the dense position
+        # of every weight with a per-call seed instead of consuming a
+        # layout-shaped stream from the generator, so the sparse path can
+        # reproduce the identical mask on its compressed representation
+        drop = self.attn_dropout
+        if drop is None or not drop.training or drop.p <= 0.0:
+            return weights
+        seed = draw_dropout_seed(drop.rng)
+        positions = np.arange(weights.data.size, dtype=np.uint64).reshape(weights.shape)
+        return weights * Tensor(attention_dropout_keep(seed, drop.p, positions))
 
     def __call__(self, q: Tensor, k: Tensor, v: Tensor) -> Tensor:
         if self.path == "dense":
@@ -142,6 +182,7 @@ class DfssCore(MaskedScoreCore):
             v,
             pattern=self.pattern,
             backend=self.backend,
+            block_mask=self.block_mask,
             dropout_p=drop.p if drop is not None else 0.0,
             dropout_rng=drop.rng if drop is not None else None,
             training=bool(drop.training) if drop is not None else False,
@@ -159,17 +200,25 @@ class DfssCore(MaskedScoreCore):
             cols = global_column_indices(indices, pattern, dense_cols)
             mask = np.zeros(indices.shape[:-1] + (dense_cols,), dtype=bool)
             np.put_along_axis(mask, cols, True, axis=-1)
+            if self.block_mask is not None:
+                # sentinel entries of fully-masked groups carry zero weight
+                # but are present in the compressed structure; drop them
+                mask &= self.block_mask.dense_mask(mask.shape[-2], mask.shape[-1])
             return mask
         return super().last_mask()
 
 
+@register_mechanism("topk", role="core")
 class TopKCore(MaskedScoreCore):
     name = "topk"
 
-    def __init__(self, density: float = 0.05):
+    def __init__(self, density: float = 0.05, k: Optional[int] = None):
         self.density = density
+        self.k = k
 
     def _mask(self, scores, q, k):
+        if self.k is not None:
+            return topk_mask(scores, min(1.0, self.k / scores.shape[-1]))
         return topk_mask(scores, self.density)
 
 
@@ -200,6 +249,7 @@ class ClusteringMaskCore(MaskedScoreCore):
         return self.mechanism.attention_mask(q, k)
 
 
+@register_mechanism("linformer", role="core")
 class LinformerCore(AttentionCore):
     """Low-rank projection of keys/values with a fixed random projection."""
 
@@ -232,6 +282,7 @@ class LinformerCore(AttentionCore):
         return weights @ v_proj
 
 
+@register_mechanism("linear_transformer", role="core")
 class LinearTransformerCore(AttentionCore):
     """Kernelised linear attention with the elu+1 feature map."""
 
@@ -252,6 +303,7 @@ class LinearTransformerCore(AttentionCore):
         return out / (normaliser + 1e-6)
 
 
+@register_mechanism("performer", role="core")
 class PerformerCore(AttentionCore):
     """FAVOR+ positive random features (features fixed, not trained)."""
 
@@ -292,6 +344,8 @@ class PerformerCore(AttentionCore):
         return out / (normaliser + 1e-6)
 
 
+@register_mechanism("nystromformer", role="core")
+@register_mechanism("nystromformer_dfss", role="core")
 class NystromformerCore(AttentionCore):
     """Differentiable Nyström attention with segment-mean landmarks."""
 
@@ -346,6 +400,7 @@ class NystromformerCore(AttentionCore):
         return (kernel1 @ pinv) @ (kernel3 @ v)
 
 
+@register_mechanism("synthesizer", role="core")
 class SynthesizerCore(AttentionCore):
     """Random Synthesizer: a trainable content-independent attention matrix."""
 
@@ -368,90 +423,97 @@ class SynthesizerCore(AttentionCore):
         return weights @ v
 
 
+# -------------------------------------------------- registered core builders
+# Mechanisms whose core is a parameterised StaticMaskCore / ClusteringMaskCore
+# rather than a dedicated class register small builder functions; class-shaped
+# cores are decorated directly.  Together these replace the legacy 16-branch
+# ``if/elif`` factory — the registry is the single name -> constructor map.
+@register_mechanism("local", role="core")
+def _local_core(cfg, seq_len_hint: int) -> AttentionCore:
+    return StaticMaskCore(
+        lambda nq, nk: local_window_mask(nq, nk, cfg.window), "local"
+    )
+
+
+@register_mechanism("sparse_transformer", role="core")
+def _strided_core(cfg, seq_len_hint: int) -> AttentionCore:
+    return StaticMaskCore(
+        lambda nq, nk: strided_mask(nq, nk, cfg.window, cfg.stride), "sparse_transformer"
+    )
+
+
+@register_mechanism("fixed_truncated", role="core")
+def _truncated_core(cfg, seq_len_hint: int) -> AttentionCore:
+    return StaticMaskCore(
+        lambda nq, nk: truncated_mask(nq, nk, cfg.density), "fixed_truncated"
+    )
+
+
+@register_mechanism("longformer", role="core")
+def _longformer_core(cfg, seq_len_hint: int) -> AttentionCore:
+    return StaticMaskCore(
+        lambda nq, nk: longformer_mask(nq, nk, cfg.window, cfg.num_global), "longformer"
+    )
+
+
+@register_mechanism("bigbird", role="core")
+def _bigbird_core(cfg, seq_len_hint: int) -> AttentionCore:
+    def _bb(nq, nk):
+        bs = cfg.block_size
+        while nq % bs != 0 and bs > 1:
+            bs //= 2
+        return bigbird_mask(
+            nq,
+            bs,
+            window_blocks=cfg.window_blocks,
+            num_global_blocks=cfg.num_global_blocks,
+            num_random_blocks=cfg.num_random_blocks,
+            seed=cfg.seed,
+        ).dense_mask(nq, nk)
+
+    return StaticMaskCore(_bb, "bigbird")
+
+
+@register_mechanism("reformer", role="core")
+def _reformer_core(cfg, seq_len_hint: int) -> AttentionCore:
+    return ClusteringMaskCore(ReformerAttention(**cfg.mechanism_kwargs()), "reformer")
+
+
+@register_mechanism("routing", role="core")
+def _routing_core(cfg, seq_len_hint: int) -> AttentionCore:
+    return ClusteringMaskCore(
+        RoutingTransformerAttention(**cfg.mechanism_kwargs()), "routing"
+    )
+
+
+@register_mechanism("sinkhorn", role="core")
+def _sinkhorn_core(cfg, seq_len_hint: int) -> AttentionCore:
+    return ClusteringMaskCore(SinkhornAttention(**cfg.mechanism_kwargs()), "sinkhorn")
+
+
 # ----------------------------------------------------------------- factory
 def make_attention_core(mechanism: str, seq_len_hint: int = 512, **kwargs) -> AttentionCore:
     """Build an :class:`AttentionCore` by mechanism name.
 
-    ``mechanism`` accepts the Table-4 names plus ``dfss_1:2`` / ``dfss_2:4``
-    shortcuts; extra keyword arguments are forwarded to the core (e.g.
-    ``backend=`` / ``path=`` for DFSS).  Keyword arguments the selected
-    mechanism does not consume raise ``TypeError`` instead of being silently
-    dropped.
+    .. deprecated::
+        Thin wrapper over the unified registry; use
+        :func:`repro.registry.make_core` or
+        :meth:`repro.engine.AttentionEngine.core` instead.
+
+    ``mechanism`` accepts the registry names and aliases plus ``dfss_1:2`` /
+    ``dfss_2:4`` shortcuts; extra keyword arguments are validated against the
+    mechanism's config dataclass — unknown ones raise ``TypeError`` instead of
+    being silently dropped.
     """
-    mech = mechanism.lower()
+    import warnings
 
-    def take_all():
-        taken = dict(kwargs)
-        kwargs.clear()
-        return taken
-
-    if mech in ("full", "transformer", "dense"):
-        core = FullCore()
-    elif mech.startswith("dfss"):
-        if kwargs.get("pattern") is None:
-            kwargs["pattern"] = mech.split("_", 1)[1] if "_" in mech else "2:4"
-        core = DfssCore(**take_all())
-    elif mech == "topk":
-        core = TopKCore(**take_all())
-    elif mech == "local":
-        window = kwargs.pop("window", 32)
-        core = StaticMaskCore(lambda nq, nk: local_window_mask(nq, nk, window), "local")
-    elif mech == "sparse_transformer":
-        window = kwargs.pop("window", 16)
-        stride = kwargs.pop("stride", 64)
-        core = StaticMaskCore(
-            lambda nq, nk: strided_mask(nq, nk, window, stride), "sparse_transformer"
-        )
-    elif mech == "fixed_truncated":
-        density = kwargs.pop("density", 0.5)
-        core = StaticMaskCore(
-            lambda nq, nk: truncated_mask(nq, nk, density), "fixed_truncated"
-        )
-    elif mech == "longformer":
-        window = kwargs.pop("window", 32)
-        num_global = kwargs.pop("num_global", 1)
-        core = StaticMaskCore(
-            lambda nq, nk: longformer_mask(nq, nk, window, num_global), "longformer"
-        )
-    elif mech == "bigbird":
-        block = kwargs.pop("block_size", 64)
-        seed = kwargs.pop("seed", 0)
-
-        def _bb(nq, nk):
-            bs = block
-            while nq % bs != 0 and bs > 1:
-                bs //= 2
-            return bigbird_mask(nq, bs, seed=seed).dense_mask(nq, nk)
-
-        core = StaticMaskCore(_bb, "bigbird")
-    elif mech == "reformer":
-        core = ClusteringMaskCore(ReformerAttention(**take_all()), "reformer")
-    elif mech == "routing":
-        core = ClusteringMaskCore(RoutingTransformerAttention(**take_all()), "routing")
-    elif mech == "sinkhorn":
-        core = ClusteringMaskCore(SinkhornAttention(**take_all()), "sinkhorn")
-    elif mech == "linformer":
-        core = LinformerCore(**take_all())
-    elif mech == "linear_transformer":
-        core = LinearTransformerCore()
-    elif mech == "performer":
-        core = PerformerCore(**take_all())
-    elif mech == "nystromformer":
-        core = NystromformerCore(**take_all())
-    elif mech in ("nystromformer_dfss", "nystrom_dfss"):
-        kwargs.setdefault("dfss_pattern", "2:4")
-        core = NystromformerCore(**take_all())
-    elif mech == "synthesizer":
-        kwargs.setdefault("max_len", seq_len_hint)
-        core = SynthesizerCore(**take_all())
-    else:
-        raise ValueError(f"unknown attention mechanism {mechanism!r}")
-    if kwargs:
-        raise TypeError(
-            f"unexpected keyword arguments {sorted(kwargs)} for "
-            f"attention mechanism {mechanism!r}"
-        )
-    return core
+    warnings.warn(
+        "make_attention_core() is deprecated; use repro.registry.make_core() "
+        "or repro.AttentionEngine(...).core()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return make_core(mechanism, seq_len_hint=seq_len_hint, **kwargs)
 
 
 # ------------------------------------------------------------- the nn layer
@@ -490,7 +552,7 @@ class MultiHeadSelfAttention(Module):
         self.attn_dropout = Dropout(dropout, seed=rng.integers(1 << 31))
         #: applied to the projected output (the residual branch)
         self.resid_dropout = Dropout(resid_dropout, seed=rng.integers(1 << 31))
-        self.core = make_attention_core(mechanism, seq_len_hint=max_len, **mechanism_kwargs)
+        self.core = make_core(mechanism, seq_len_hint=max_len, **mechanism_kwargs)
         self.mechanism = mechanism
         self._register_core_parameters()
         self.core.attn_dropout = self.attn_dropout
@@ -504,9 +566,7 @@ class MultiHeadSelfAttention(Module):
 
     def set_mechanism(self, mechanism: str, **mechanism_kwargs) -> None:
         """Swap the attention mechanism in place (weights are untouched)."""
-        self.core = make_attention_core(
-            mechanism, seq_len_hint=self.max_len, **mechanism_kwargs
-        )
+        self.core = make_core(mechanism, seq_len_hint=self.max_len, **mechanism_kwargs)
         self.mechanism = mechanism
         self._register_core_parameters()
         self.core.attn_dropout = self.attn_dropout

@@ -22,12 +22,23 @@ import numpy as np
 
 from repro.core.attention_grad import dfss_attention_bwd
 from repro.core.backend import REFERENCE, resolve_backend
+from repro.core.blocked_ell import BlockedEllMask
 from repro.core.patterns import resolve_pattern
 from repro.core.sddmm import sddmm_nm
 from repro.core.softmax import sparse_softmax
 from repro.core.sparse import NMSparseMatrix
 from repro.core.spmm import spmm
 from repro.nn.autograd import Tensor
+from repro.utils.seeding import attention_dropout_keep, draw_dropout_seed
+
+
+def _dense_positions(probs: NMSparseMatrix) -> np.ndarray:
+    """Linear index into the dense weight tensor of every stored nonzero."""
+    cols = probs.column_indices().astype(np.uint64)
+    lead = np.arange(
+        int(np.prod(cols.shape[:-1], dtype=np.int64)), dtype=np.uint64
+    ).reshape(cols.shape[:-1] + (1,))
+    return lead * np.uint64(probs.dense_cols) + cols
 
 
 def dfss_sparse_attention(
@@ -37,6 +48,7 @@ def dfss_sparse_attention(
     pattern="2:4",
     scale: Optional[float] = None,
     backend: Optional[str] = None,
+    block_mask: Optional[BlockedEllMask] = None,
     dropout_p: float = 0.0,
     dropout_rng: Optional[np.random.Generator] = None,
     training: bool = False,
@@ -54,12 +66,23 @@ def dfss_sparse_attention(
     backend:
         Kernel backend for every dispatched stage, forward and backward
         ("reference" or "fast"; default ``$REPRO_BACKEND``, else "fast").
+    block_mask:
+        Optional hybrid blocked-ELL coarse mask (the same argument the
+        inference-path :func:`repro.core.attention.dfss_attention` takes):
+        score blocks outside the mask are excluded before the N:M selection
+        and carry exactly zero probability; the backward kernels already zero
+        the sentinel entries of fully-masked groups.
     dropout_p, dropout_rng, training:
         Optional inverted dropout applied to the compressed attention
         probabilities (the masked analogue of dropout on the dense attention
         weights).  Active only when ``training`` is true and ``p > 0``, in
         which case ``dropout_rng`` (a seeded Generator) is required —
-        dropout in this repo is deterministic under a seed.
+        dropout in this repo is deterministic under a seed.  The mask is
+        derived layout-independently: one seed is drawn from ``dropout_rng``
+        per call and hashed with the *dense* position of each stored nonzero
+        (:func:`repro.utils.seeding.attention_dropout_keep`), so a seeded run
+        through this op and one through the dense escape hatch drop the same
+        (row, column) entries.
 
     Returns
     -------
@@ -73,7 +96,10 @@ def dfss_sparse_attention(
         scale = 1.0 / np.sqrt(d)
     scale = float(scale)
 
-    scores = sddmm_nm(q.data, k.data, pattern=pattern, scale=scale, backend=backend)
+    scores = sddmm_nm(
+        q.data, k.data, pattern=pattern, scale=scale, block_mask=block_mask,
+        backend=backend,
+    )
     probs = sparse_softmax(scores, backend=backend)
     if resolve_backend(backend) != REFERENCE:
         # one metadata walk per step: the forward SpMM and the backward
@@ -89,9 +115,9 @@ def dfss_sparse_attention(
             # nn.layers.Dropout); an implicit unseeded generator would
             # silently break experiment reproducibility
             raise ValueError("dropout_p > 0 requires an explicit dropout_rng")
-        drop_keep = (dropout_rng.random(probs.values.shape) >= dropout_p).astype(
-            np.float32
-        ) / np.float32(1.0 - dropout_p)
+        drop_keep = attention_dropout_keep(
+            draw_dropout_seed(dropout_rng), dropout_p, _dense_positions(probs)
+        )
         applied = probs.with_values(probs.values * drop_keep)
     else:
         applied = probs

@@ -10,6 +10,7 @@ import numpy as np
 import pytest
 
 from repro.core.backend import FAST, REFERENCE
+from repro.core.blocked_ell import sliding_window_mask
 from repro.nn import functional as F
 from repro.nn.attention_layer import (
     DfssCore,
@@ -17,7 +18,9 @@ from repro.nn.attention_layer import (
     make_attention_core,
 )
 from repro.nn.autograd import Tensor
+from repro.nn.layers import Dropout
 from repro.nn.sparse_attention import dfss_sparse_attention
+from repro.utils.seeding import attention_dropout_keep, hashed_uniform
 
 PATTERNS = ["1:2", "2:4"]
 
@@ -247,6 +250,167 @@ class TestDropoutPlacement:
         )
         layer.set_mechanism("dfss", pattern="2:4")
         assert layer.core.attn_dropout is layer.attn_dropout
+
+
+class TestDropoutLayoutIndependence:
+    """Seeded dropout must agree between the sparse op and the dense escape hatch."""
+
+    def _cores(self, p=0.5, seed=42, backend=None):
+        sparse = DfssCore("2:4", path="sparse", backend=backend)
+        dense = DfssCore("2:4", path="dense", backend=backend)
+        sparse.attn_dropout = Dropout(p, seed=seed)
+        dense.attn_dropout = Dropout(p, seed=seed)
+        return sparse, dense
+
+    @pytest.mark.parametrize("backend", [REFERENCE, FAST])
+    def test_seeded_paths_bit_comparable_under_dropout(self, backend):
+        sparse, dense = self._cores(backend=backend)
+        for step in range(3):  # alignment must survive several steps
+            q1, k1, v1 = _tensors(seed=10 + step)
+            q2, k2, v2 = _tensors(seed=10 + step)
+            out_s = sparse(q1, k1, v1)
+            out_d = dense(q2, k2, v2)
+            np.testing.assert_allclose(out_s.data, out_d.data, atol=1e-6)
+            (out_s * out_s).sum().backward()
+            (out_d * out_d).sum().backward()
+            for a, b in ((q1, q2), (k1, k2), (v1, v2)):
+                np.testing.assert_allclose(a.grad, b.grad, rtol=1e-5, atol=1e-6)
+
+    def test_both_paths_consume_one_draw_per_call(self):
+        sparse, dense = self._cores()
+        q1, k1, v1 = _tensors(seed=20)
+        q2, k2, v2 = _tensors(seed=20)
+        sparse(q1, k1, v1)
+        dense(q2, k2, v2)
+        # generators advanced identically -> next draws agree
+        assert (sparse.attn_dropout.rng.integers(1 << 62)
+                == dense.attn_dropout.rng.integers(1 << 62))
+
+    def test_dropout_actually_drops(self):
+        sparse, _ = self._cores(p=0.5)
+        q, k, v = _tensors(seed=21)
+        out1 = sparse(q, k, v).data.copy()
+        out2 = sparse(q, k, v).data
+        assert not np.allclose(out1, out2)  # re-randomised between calls
+
+    def test_eval_mode_is_identity_on_both_paths(self):
+        sparse, dense = self._cores()
+        sparse.attn_dropout.training = False
+        dense.attn_dropout.training = False
+        q1, k1, v1 = _tensors(seed=22)
+        q2, k2, v2 = _tensors(seed=22)
+        np.testing.assert_allclose(
+            sparse(q1, k1, v1).data, dense(q2, k2, v2).data, atol=1e-6
+        )
+
+    def test_full_layer_paths_match_with_dropout(self):
+        # Through the projections the scores are not tie-exact, so the two
+        # paths can pick different N:M survivors at fp ties (~1e-4 output
+        # noise, present without dropout too).  A *misaligned* dropout mask
+        # would instead zero/double different entries and produce O(1)
+        # differences, so the tight bound below still proves alignment.
+        outs = []
+        for path in ("sparse", "dense"):
+            layer = MultiHeadSelfAttention(
+                model_dim=16, num_heads=2, mechanism="dfss_2:4", dropout=0.4,
+                seed=0, path=path,
+            )
+            x = Tensor(_lattice((2, 8, 16), seed=23))
+            outs.append(layer(x).data)
+        np.testing.assert_allclose(outs[0], outs[1], atol=5e-3)
+
+    def test_hashed_uniform_is_position_keyed(self):
+        positions = np.arange(64, dtype=np.uint64).reshape(8, 8)
+        full = hashed_uniform(123, positions)
+        subset = hashed_uniform(123, positions[::2, 1::3])
+        np.testing.assert_array_equal(full[::2, 1::3], subset)
+        assert not np.array_equal(full, hashed_uniform(124, positions))
+        assert 0.0 <= full.min() and full.max() < 1.0
+
+    def test_attention_dropout_keep_scales_and_validates(self):
+        keep = attention_dropout_keep(7, 0.5, np.arange(10_000, dtype=np.uint64))
+        assert set(np.unique(keep)) == {0.0, 2.0}
+        assert keep.mean() == pytest.approx(1.0, abs=0.05)
+        with pytest.raises(ValueError):
+            attention_dropout_keep(7, 1.0, np.arange(4, dtype=np.uint64))
+
+
+class TestBlockMaskTrainableOp:
+    """The trainable op accepts the blocked-ELL coarse mask (ROADMAP item)."""
+
+    def _block_mask(self, seq=32):
+        return sliding_window_mask(seq_len=seq, block_size=8, window_blocks=1)
+
+    def test_masked_positions_carry_zero_probability(self):
+        q, k, v = _tensors(seed=30)
+        block = self._block_mask()
+        _, probs = dfss_sparse_attention(q, k, v, pattern="2:4", block_mask=block)
+        dense_probs = probs.to_dense(0.0)
+        outside = ~block.dense_mask(32, 32)
+        np.testing.assert_array_equal(dense_probs[..., outside], 0.0)
+
+    @pytest.mark.parametrize("backend", [REFERENCE, FAST])
+    # block_size=2 puts a block boundary INSIDE every 2:4 group: the dense
+    # path must exclude blocked scores before the N:M selection (promoting
+    # allowed runners-up), exactly like the sddmm_nm epilogue
+    @pytest.mark.parametrize("block_size", [8, 2])
+    def test_sparse_path_matches_dense_path_with_block_mask(self, backend, block_size):
+        block = sliding_window_mask(seq_len=32, block_size=block_size, window_blocks=1)
+        q1, k1, v1 = _tensors(seed=31)
+        q2, k2, v2 = _tensors(seed=31)
+        sparse = DfssCore("2:4", path="sparse", backend=backend, block_mask=block)
+        dense = DfssCore("2:4", path="dense", backend=backend, block_mask=block)
+        out_s = sparse(q1, k1, v1)
+        out_d = dense(q2, k2, v2)
+        np.testing.assert_allclose(out_s.data, out_d.data, atol=1e-6)
+        (out_s * out_s).sum().backward()
+        (out_d * out_d).sum().backward()
+        for a, b in ((q1, q2), (k1, k2), (v1, v2)):
+            np.testing.assert_allclose(a.grad, b.grad, rtol=1e-5, atol=1e-6)
+
+    def test_mechanism_mask_excludes_before_selection(self):
+        # the numpy DfssMechanism must agree with dfss_attention's epilogue
+        # on block boundaries that do not align with N:M groups
+        from repro.baselines.dfss import DfssMechanism
+        from repro.core.attention import dfss_attention
+
+        rng = np.random.default_rng(40)
+        q = (rng.integers(-2, 3, size=(2, 32, 16)) / 2).astype(np.float32)
+        k = (rng.integers(-2, 3, size=(2, 32, 16)) / 2).astype(np.float32)
+        v = rng.normal(size=(2, 32, 16)).astype(np.float32)
+        block = sliding_window_mask(seq_len=32, block_size=2, window_blocks=1)
+        mech = DfssMechanism(pattern="2:4", block_mask=block)
+        _, weights = dfss_attention(q, k, v, pattern="2:4", block_mask=block,
+                                    return_weights=True)
+        kernel_mask = weights.to_dense(0.0) > 0
+        mech_mask = mech.attention_mask(q, k)
+        # every position the kernel assigns weight must be in the mask
+        assert not (kernel_mask & ~mech_mask).any()
+
+    def test_last_mask_respects_block_mask(self):
+        block = self._block_mask()
+        q, k, v = _tensors(seed=32)
+        core = DfssCore("2:4", path="sparse", block_mask=block)
+        core(q, k, v)
+        mask = core.last_mask()
+        assert not mask[..., ~block.dense_mask(32, 32)].any()
+
+    def test_engine_forwards_block_mask_to_core(self):
+        from repro.engine import AttentionEngine
+
+        block = self._block_mask()
+        core = AttentionEngine("dfss", pattern="2:4", block_mask=block).core()
+        assert core.block_mask is block
+
+    def test_block_mask_with_dropout(self):
+        block = self._block_mask()
+        q, k, v = _tensors(seed=33)
+        core = DfssCore("2:4", path="sparse", block_mask=block)
+        core.attn_dropout = Dropout(0.3, seed=5)
+        out = core(q, k, v)
+        assert np.all(np.isfinite(out.data))
+        out.sum().backward()
+        assert np.all(np.isfinite(q.grad))
 
 
 class TestSparseIsTheDefaultTrainingPath:

@@ -1,0 +1,248 @@
+"""Tests for the unified mechanism registry and the `repro.engine` façade.
+
+Round-trip coverage: every registered spec must construct through the new
+engine AND match the legacy ``create_mechanism`` / ``make_attention_core``
+factories bit-for-bit on tie-exact lattice inputs, the legacy entry points
+must emit ``DeprecationWarning`` while preserving behaviour, and unknown
+keyword arguments must keep raising ``TypeError``.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+import repro
+from repro import registry
+from repro.baselines.base import MECHANISM_REGISTRY, create_mechanism
+from repro.engine import AttentionConfig, AttentionEngine
+from repro.nn.attention_layer import DfssCore, make_attention_core
+from repro.nn.autograd import Tensor
+
+TABLE4_NAMES = (
+    "full", "local", "sparse_transformer", "longformer", "linformer", "reformer",
+    "sinkhorn", "synthesizer", "bigbird", "linear_transformer", "performer",
+    "routing", "nystromformer", "dfss",
+)
+
+ALL_NAMES = registry.available_mechanisms()
+TRAINABLE_NAMES = registry.available_mechanisms(trainable=True)
+
+
+def _lattice_qkv(batch=(2,), seq=32, d=16, seed=0):
+    """Tie-exact inputs: small multiples of 1/2, head dim a power of four."""
+    rng = np.random.default_rng(seed)
+    shape = tuple(batch) + (seq, d)
+    return tuple(
+        (rng.integers(-2, 3, size=shape) / 2).astype(np.float32) for _ in range(3)
+    )
+
+
+def _legacy(fn, *args, **kwargs):
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        return fn(*args, **kwargs)
+
+
+class TestCatalogue:
+    def test_every_table4_mechanism_enumerated_with_flags(self):
+        names = repro.available_mechanisms()
+        for name in TABLE4_NAMES:
+            assert name in names, name
+            info = repro.describe_mechanism(name)
+            for flag in ("trainable", "produces_mask", "compressed", "supports_block_mask"):
+                assert isinstance(info[flag], bool), (name, flag)
+
+    def test_registry_matches_legacy_mechanism_registry(self):
+        assert set(ALL_NAMES) == set(MECHANISM_REGISTRY)
+
+    def test_capability_filters(self):
+        assert "bigbird_dfss" not in registry.available_mechanisms(trainable=True)
+        assert "dfss" in registry.available_mechanisms(compressed=True)
+        assert set(registry.available_mechanisms(produces_mask=True)) <= set(ALL_NAMES)
+        block = registry.available_mechanisms(supports_block_mask=True)
+        assert "dfss" in block and "full" not in block
+
+    def test_aliases_resolve(self):
+        assert registry.canonical_name("transformer") == "full"
+        assert registry.canonical_name("dense") == "full"
+        assert registry.canonical_name("fixed") == "fixed_truncated"
+        assert registry.canonical_name("nystrom_dfss") == "nystromformer_dfss"
+        assert registry.canonical_name("dfss_2:4") == "dfss"
+        assert registry.canonical_name("Transformer (full)") == "full"
+
+    def test_unknown_name_raises_value_error(self):
+        with pytest.raises(ValueError, match="flash"):
+            registry.find_spec("flash")
+
+    def test_experiment_table4_catalogue_uses_the_same_specs(self):
+        from repro.experiments.registry import table4_mechanisms
+
+        entries = table4_mechanisms()
+        assert {e["mechanism"] for e in entries} == set(TABLE4_NAMES)
+        for entry in entries:
+            assert entry["trainable"], entry["mechanism"]
+
+
+class TestNumpyRoundTrip:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_engine_matches_legacy_create_mechanism(self, name):
+        q, k, v = _lattice_qkv(seed=1)
+        engine_out = AttentionEngine(name)(q, k, v)
+        legacy_out = _legacy(create_mechanism, name)(q, k, v)
+        np.testing.assert_array_equal(engine_out, legacy_out)
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_engine_matches_direct_class_construction(self, name):
+        q, k, v = _lattice_qkv(seed=2)
+        np.testing.assert_array_equal(
+            AttentionEngine(name)(q, k, v), MECHANISM_REGISTRY[name]()(q, k, v)
+        )
+
+    def test_one_shot_attention_facade(self):
+        q, k, v = _lattice_qkv(seed=3)
+        out = repro.attention(q, k, v, mechanism="dfss_2:4")
+        ref = repro.attention(q, k, v, mechanism="dfss", pattern="2:4")
+        np.testing.assert_array_equal(out, ref)
+        assert out.shape == q.shape
+
+
+class TestCoreRoundTrip:
+    @pytest.mark.parametrize("name", TRAINABLE_NAMES)
+    def test_engine_core_matches_legacy_factory(self, name):
+        qa, ka, va = (Tensor(a) for a in _lattice_qkv(batch=(2, 2), seed=4))
+        qb, kb, vb = (Tensor(a) for a in _lattice_qkv(batch=(2, 2), seed=4))
+        engine_core = AttentionEngine(name, seq_len_hint=32).core()
+        legacy_core = _legacy(make_attention_core, name, seq_len_hint=32)
+        out_a = engine_core(qa, ka, va)
+        out_b = legacy_core(qb, kb, vb)
+        np.testing.assert_array_equal(out_a.data, out_b.data)
+        mask_a, mask_b = engine_core.last_mask(), legacy_core.last_mask()
+        if mask_a is not None or mask_b is not None:
+            np.testing.assert_array_equal(mask_a, mask_b)
+
+    def test_untrainable_mechanism_core_raises(self):
+        for name in ("bigbird_dfss", "linformer_dfss"):
+            with pytest.raises(ValueError, match="not trainable"):
+                AttentionEngine(name).core()
+
+    def test_pattern_suffix_and_explicit_kwarg(self):
+        core = registry.make_core("dfss_2:4")
+        assert isinstance(core, DfssCore) and core.pattern.name == "2:4"
+        core = registry.make_core("dfss_2:4", pattern="1:2")
+        assert core.pattern.name == "1:2"  # explicit kwarg beats the suffix
+        core = registry.make_core("dfss")
+        assert core.pattern.name == "2:4"  # legacy default
+
+    def test_backend_forwarded_into_core_config(self):
+        core = AttentionEngine("dfss", backend="reference").core()
+        assert core.backend == "reference"
+        # an explicit backend in the mechanism options wins over the
+        # engine-level one
+        cfg = AttentionConfig(mechanism="dfss", backend="reference",
+                              options={"backend": "fast"})
+        core = AttentionEngine.from_config(cfg).core()
+        assert core.backend == "fast"
+
+    def test_engine_backend_does_not_break_numpy_forward(self):
+        # regression: the engine-level backend is scoped via use_backend, not
+        # injected into the config, so the numpy mechanism (whose constructor
+        # has no backend parameter on the DFSS spec) still builds and runs
+        q, k, v = _lattice_qkv(seed=8)
+        engine = AttentionEngine("dfss", pattern="2:4", backend="reference")
+        out_ref = engine(q, k, v)
+        out_fast = AttentionEngine("dfss", pattern="2:4", backend="fast")(q, k, v)
+        np.testing.assert_allclose(out_ref, out_fast, atol=1e-6)  # backend parity
+
+
+class TestDeprecationWrappers:
+    def test_create_mechanism_warns_and_preserves_output(self):
+        q, k, v = _lattice_qkv(seed=5)
+        with pytest.warns(DeprecationWarning, match="create_mechanism"):
+            mech = create_mechanism("dfss", pattern="2:4")
+        np.testing.assert_array_equal(
+            mech(q, k, v), AttentionEngine("dfss", pattern="2:4")(q, k, v)
+        )
+
+    def test_make_attention_core_warns_and_preserves_output(self):
+        qa, ka, va = (Tensor(a) for a in _lattice_qkv(seed=6))
+        qb, kb, vb = (Tensor(a) for a in _lattice_qkv(seed=6))
+        with pytest.warns(DeprecationWarning, match="make_attention_core"):
+            core = make_attention_core("dfss_2:4")
+        np.testing.assert_array_equal(
+            core(qa, ka, va).data, AttentionEngine("dfss_2:4").core()(qb, kb, vb).data
+        )
+
+    def test_legacy_error_types_preserved(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError):
+                create_mechanism("flash_attention")
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(TypeError):
+                make_attention_core("local", definitely_not_a_kwarg=1)
+
+    def test_multi_head_layer_does_not_warn(self):
+        from repro.nn.attention_layer import MultiHeadSelfAttention
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            layer = MultiHeadSelfAttention(model_dim=16, num_heads=2, mechanism="dfss_2:4")
+            layer.set_mechanism("full")
+
+
+class TestKwargValidation:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_unknown_kwargs_raise_type_error(self, name):
+        with pytest.raises(TypeError, match="definitely_not_a_kwarg"):
+            AttentionEngine(name, definitely_not_a_kwarg=1)
+
+    def test_side_specific_kwargs_rejected_on_the_other_side(self):
+        # dtype is numpy-mechanism-only for DFSS; the legacy core factory
+        # raised TypeError for it and the registry must too
+        with pytest.raises(TypeError, match="dtype"):
+            registry.make_core("dfss", dtype="bfloat16")
+        # path/backend are core-only
+        with pytest.raises(TypeError, match="path"):
+            registry.make_mechanism("dfss", path="dense")
+
+    def test_config_value_validation(self):
+        with pytest.raises(ValueError):
+            AttentionEngine("fixed_truncated", density=0.0)
+        with pytest.raises(ValueError):
+            AttentionEngine("dfss", path="warp")
+        with pytest.raises(ValueError):
+            AttentionEngine("linformer", proj_dim=-3)
+
+
+class TestEngineSurface:
+    def test_from_config_round_trip(self):
+        cfg = AttentionConfig(mechanism="dfss", backend="reference",
+                              options={"pattern": "1:2"})
+        engine = AttentionEngine.from_config(cfg)
+        assert engine.name == "dfss"
+        assert engine.config.pattern == "1:2"
+        assert engine.backend == "reference"
+
+    def test_describe_contains_flags_and_config(self):
+        info = AttentionEngine("dfss_1:2", backend="reference").describe()
+        assert info["name"] == "dfss"
+        assert info["compressed"] is True and info["trainable"] is True
+        assert info["config"]["pattern"] == "1:2"
+        assert info["backend"] == "reference"
+
+    def test_engine_backend_context_manager(self):
+        from repro.core.backend import resolve_backend
+
+        engine = AttentionEngine("dfss", backend="reference")
+        assert resolve_backend(None) == "fast"
+        with engine:
+            assert resolve_backend(None) == "reference"
+            with engine:  # re-entrant
+                assert resolve_backend(None) == "reference"
+            assert resolve_backend(None) == "reference"
+        assert resolve_backend(None) == "fast"
+
+    def test_attention_mask_introspection(self):
+        q, k, _ = _lattice_qkv(seed=7)
+        mask = AttentionEngine("dfss", pattern="2:4").attention_mask(q, k)
+        assert mask.dtype == bool and mask.mean() == pytest.approx(0.5)
