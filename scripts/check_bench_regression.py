@@ -25,7 +25,22 @@ Exit status 0 means "ship it"; 1 means at least one check failed:
   below the absolute floor (default 3x, the repo's acceptance criterion);
 * **train floor** — the fwd+bwd ``attention_train_step`` fast speedup over
   the dense autograd reference path dropped below the absolute floor
-  (default 2x, the sparse-training acceptance criterion).
+  (default 2x, the sparse-training acceptance criterion);
+* **train matrix floor** — an ``attention_train_matrix`` sparse row for a
+  band-style mask mechanism (local, longformer) fell below the absolute
+  floor (default 1x: the compressed padded-CSR path must never train slower
+  than the dense masked autograd path on band masks).
+
+Fresh rows with no baseline counterpart — newly added kernels or mechanisms —
+are *skipped with a warning* rather than failing (or KeyError-ing), so adding
+a benchmark does not force a same-commit baseline refresh; the refreshed
+baseline picks them up on the next update.
+
+The gather-heavy padded-CSR reference loop oracles (see
+``REGIME_SENSITIVE_ORACLES``) are exempt from the cross-run timing diffs:
+their per-slice loops are dominated by the host scheduling/allocator regime
+(~2x bimodal across processes on shared hosts).  Parity and the fast rows'
+median diffs still gate those kernels.
 
 The script is stdlib-only so it runs anywhere, including bare CI images.
 """
@@ -36,7 +51,7 @@ import argparse
 import json
 import math
 import sys
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 Key = Tuple[str, str, str]
 
@@ -68,10 +83,29 @@ def machine_factor(fresh: Dict[Key, Dict], base: Dict[Key, Dict]) -> float:
     for key, fresh_row in fresh.items():
         if key[2] != "reference" or key not in base:
             continue
+        if key[0] in REGIME_SENSITIVE_ORACLES:
+            continue
         fresh_med, base_med = fresh_row["median_s"], base[key]["median_s"]
         if fresh_med > 0 and base_med > 0:
             logs.append(math.log(fresh_med / base_med))
     return math.exp(sum(logs) / len(logs)) if logs else 1.0
+
+
+#: Mechanisms whose ``attention_train_matrix`` sparse rows are held to the
+#: absolute train-matrix floor (the band-style masks of the acceptance
+#: criterion; data-dependent masks fluctuate around parity on CPU).
+BAND_MASK_MECHANISMS = ("local", "longformer")
+
+#: Kernels whose *reference* loop-oracle timings are dominated by the host
+#: scheduling/allocator regime rather than the code: the gather-heavy
+#: per-slice loops on the ragged padded-CSR layout show a stable-within-run
+#: but bimodal-across-processes ~2x spread on shared hosts, which no
+#: 30%-threshold diff can straddle.  Their reference rows are exempt from the
+#: cross-run slowdown diff and the machine-factor estimate, and their fast
+#: rows from the speedup-drop diff (the speedup denominates on the noisy
+#: oracle).  Parity and the fast rows' own median slowdown diff still gate
+#: them, so a real regression in the production path is still caught.
+REGIME_SENSITIVE_ORACLES = ("sddmm_csr", "spmm_csr")
 
 
 def check(
@@ -81,8 +115,15 @@ def check(
     parity_tol: float = 1e-2,
     min_e2e_speedup: float = 3.0,
     min_train_speedup: float = 2.0,
+    min_matrix_speedup: float = 1.0,
+    warnings: Optional[List[str]] = None,
 ) -> Tuple[List[str], float]:
-    """Return ``(failure messages, machine factor)``; no failures means pass."""
+    """Return ``(failure messages, machine factor)``; no failures means pass.
+
+    ``warnings`` (when given) collects non-fatal notes: fresh rows that have
+    no baseline counterpart are skipped with a warning instead of failing,
+    so newly added kernels don't require a same-commit baseline refresh.
+    """
     fresh = index_rows(fresh_payload)
     base = index_rows(base_payload)
     factor = machine_factor(fresh, base)
@@ -100,9 +141,19 @@ def check(
             )
         base_row = base.get(key)
         if base_row is None:
+            # a newly added kernel/mechanism: skip the diff checks (the
+            # absolute floors below still apply) rather than KeyError or fail
+            if warnings is not None:
+                warnings.append(
+                    f"new row {key} has no baseline entry; slowdown/speedup "
+                    f"checks skipped — refresh the baseline to start gating it"
+                )
             continue
         base_med = base_row["median_s"]
-        if base_med >= MIN_COMPARABLE_SECONDS and base_med > 0:
+        regime_bound = (
+            key[0] in REGIME_SENSITIVE_ORACLES and key[2] == "reference"
+        )
+        if base_med >= MIN_COMPARABLE_SECONDS and base_med > 0 and not regime_bound:
             slowdown = (row["median_s"] / base_med) / factor
             if slowdown > 1.0 + threshold:
                 failures.append(
@@ -111,7 +162,7 @@ def check(
                     f"{base_med * 1e3:.2f}ms (machine-normalised, "
                     f"threshold {threshold * 100:.0f}%)"
                 )
-        if key[2] != "reference":
+        if key[2] != "reference" and key[0] not in REGIME_SENSITIVE_ORACLES:
             base_speedup = base_row.get("speedup", 0.0)
             if base_speedup and row["speedup"] < base_speedup * (1.0 - threshold):
                 failures.append(
@@ -119,24 +170,38 @@ def check(
                     f"{base_speedup:.2f}x (more than {threshold * 100:.0f}% drop)"
                 )
     floors = (
-        ("attention_e2e", min_e2e_speedup, "e2e floor"),
-        ("attention_train_step", min_train_speedup, "train floor"),
+        ("attention_e2e", "fast", min_e2e_speedup, "e2e floor"),
+        ("attention_train_step", "fast", min_train_speedup, "train floor"),
+        ("attention_train_matrix", "sparse", min_matrix_speedup,
+         "train matrix floor"),
     )
-    for kernel_name, floor, label in floors:
+    for kernel_name, floor_backend, floor, label in floors:
         if floor <= 0:
             continue
         rows = [
             row for (kernel, _, backend), row in sorted(fresh.items())
-            if kernel == kernel_name and backend == "fast"
+            if kernel == kernel_name and backend == floor_backend
         ]
+        if kernel_name == "attention_train_matrix":
+            # the floor binds only the band-style masks of the acceptance
+            # criterion; data-dependent masks hover around parity on CPU
+            rows = [
+                row for row in rows
+                if row["shape"].split("/")[-1] in BAND_MASK_MECHANISMS
+            ]
         for row in rows:
             if row["speedup"] < floor:
                 failures.append(
-                    f"{label}: {kernel_name} fast speedup {row['speedup']:.2f}x on "
-                    f"{row['shape']} is below the {floor:.1f}x acceptance floor"
+                    f"{label}: {kernel_name} {floor_backend} speedup "
+                    f"{row['speedup']:.2f}x on {row['shape']} is below the "
+                    f"{floor:.1f}x acceptance floor"
                 )
         if not rows:
-            failures.append(f"{label}: no {kernel_name} fast rows in fresh results")
+            # a floor that cannot find its rows must fail loudly — a silent
+            # pass here is exactly how a dropped benchmark ships a regression
+            failures.append(
+                f"{label}: no {kernel_name} {floor_backend} rows in fresh results"
+            )
     return failures, factor
 
 
@@ -155,12 +220,18 @@ def main(argv=None) -> int:
                         help="absolute floor for the fast attention_train_step "
                              "speedup over the dense autograd reference path "
                              "(0 disables; default 2.0)")
+    parser.add_argument("--min-matrix-speedup", type=float, default=1.0,
+                        help="absolute floor for attention_train_matrix sparse "
+                             "rows of band-style masks (local, longformer) over "
+                             "the dense masked autograd path (0 disables; "
+                             "default 1.0)")
     parser.add_argument("--update-baseline", action="store_true",
                         help="on success, overwrite the baseline with the fresh results")
     args = parser.parse_args(argv)
 
     fresh_payload = load(args.fresh)
     base_payload = load(args.baseline)
+    warnings: List[str] = []
     failures, factor = check(
         fresh_payload,
         base_payload,
@@ -168,10 +239,14 @@ def main(argv=None) -> int:
         parity_tol=args.parity_tol,
         min_e2e_speedup=args.min_e2e_speedup,
         min_train_speedup=args.min_train_speedup,
+        min_matrix_speedup=args.min_matrix_speedup,
+        warnings=warnings,
     )
     print(f"perf gate: {len(fresh_payload.get('results', []))} fresh rows vs "
           f"{len(base_payload.get('results', []))} baseline rows "
           f"(machine factor {factor:.2f}x)")
+    for message in warnings:
+        print(f"  warning: {message}")
     if failures:
         print(f"\nFAIL — {len(failures)} check(s) failed:")
         for message in failures:

@@ -16,6 +16,7 @@ from repro.utils.seeding import SeedLike
     label="BigBird",
     description="Blocked window/global/random pattern (Zaheer et al.)",
     produces_mask=True,
+    compressed=True,
 )
 @register
 class BigBirdAttention(AttentionMechanism):

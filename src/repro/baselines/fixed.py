@@ -68,6 +68,7 @@ class _FixedMaskAttention(AttentionMechanism):
     description="Sliding-window local attention (Image Transformer)",
     aliases=("local_window",),
     produces_mask=True,
+    compressed=True,
 )
 @register
 class LocalWindowAttention(_FixedMaskAttention):
@@ -91,6 +92,7 @@ class LocalWindowAttention(_FixedMaskAttention):
     description="Local + strided fixed pattern (Child et al.)",
     aliases=("strided",),
     produces_mask=True,
+    compressed=True,
 )
 @register
 class StridedSparseAttention(_FixedMaskAttention):
@@ -115,6 +117,7 @@ class StridedSparseAttention(_FixedMaskAttention):
     description="Keep a fixed leading fraction of key columns (Appendix A.4)",
     aliases=("fixed", "truncated"),
     produces_mask=True,
+    compressed=True,
     latency_model="fixed",
 )
 @register

@@ -24,6 +24,7 @@ def longformer_mask(n_q: int, n_k: int, window: int, num_global: int) -> np.ndar
     label="Longformer",
     description="Sliding window plus global tokens (Beltagy et al.)",
     produces_mask=True,
+    compressed=True,
 )
 @register
 class LongformerAttention(AttentionMechanism):

@@ -34,6 +34,7 @@ def lsh_bucket_ids(x: np.ndarray, n_buckets: int, n_hashes: int, rng) -> np.ndar
     label="Reformer",
     description="LSH-bucketed attention (Kitaev et al.)",
     produces_mask=True,
+    compressed=True,
     latency_model="reformer",
 )
 @register

@@ -39,6 +39,7 @@ def kmeans_assign(points: np.ndarray, n_clusters: int, iters: int, rng) -> np.nd
     label="Routing Trans.",
     description="k-means routed attention (Roy et al.)",
     produces_mask=True,
+    compressed=True,
     latency_model="routing",
 )
 @register

@@ -31,6 +31,7 @@ def sinkhorn_normalise(scores: np.ndarray, iters: int = 8) -> np.ndarray:
     label="Sinkhorn Trans.",
     description="Block-matched Sinkhorn attention (Tay et al.)",
     produces_mask=True,
+    compressed=True,
     latency_model="sinkhorn",
 )
 @register

@@ -21,6 +21,7 @@ from repro.registry import TopKConfig, register_mechanism
     label="Top-K",
     description="Per-row explicit Top-K masking (oracle upper bound for DFSS)",
     produces_mask=True,
+    compressed=True,
     latency_model="topk",
 )
 @register

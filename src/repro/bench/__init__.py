@@ -3,9 +3,13 @@
 ``python -m repro.bench`` times every registered kernel (``sddmm_nm``,
 ``masked_softmax``, ``spmm``, fused ``softmax_spmm``) plus the end-to-end
 multi-head DFSS attention pipeline under both the ``reference`` and ``fast``
-backends, verifies that the backends agree numerically, and emits a
-machine-readable ``BENCH_kernels.json`` that the CI perf gate
-(``scripts/check_bench_regression.py``) diffs against the committed baseline.
+backends, the padded-CSR kernel pipeline on a ragged Longformer-style mask
+(``*_csr`` rows), and the per-mechanism train-step matrix
+(``attention_train_matrix``: compressed sparse path vs dense masked autograd
+for every mask-based trainable mechanism).  It verifies that the paths agree
+numerically and emits a machine-readable ``BENCH_kernels.json`` that the CI
+perf gate (``scripts/check_bench_regression.py``) diffs against the
+committed baseline.
 """
 
 from repro.bench.report import (
@@ -15,10 +19,25 @@ from repro.bench.report import (
     results_to_payload,
     write_payload,
 )
-from repro.bench.runner import BenchResult, BenchShape, SCALE_SHAPES, run_benchmarks
+from repro.bench.runner import (
+    ALL_BENCH_KERNELS,
+    BENCH_KERNELS,
+    CSR_BENCH_KERNELS,
+    TRAIN_MATRIX_KERNEL,
+    BenchResult,
+    BenchShape,
+    SCALE_SHAPES,
+    run_benchmarks,
+    run_csr_benchmarks,
+    run_train_matrix,
+)
 
 __all__ = [
     "SCHEMA_VERSION",
+    "ALL_BENCH_KERNELS",
+    "BENCH_KERNELS",
+    "CSR_BENCH_KERNELS",
+    "TRAIN_MATRIX_KERNEL",
     "BenchResult",
     "BenchShape",
     "SCALE_SHAPES",
@@ -26,5 +45,7 @@ __all__ = [
     "load_payload",
     "results_to_payload",
     "run_benchmarks",
+    "run_csr_benchmarks",
+    "run_train_matrix",
     "write_payload",
 ]

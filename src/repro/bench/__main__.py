@@ -17,7 +17,17 @@ import argparse
 import sys
 
 from repro.bench.report import format_table, results_to_payload, write_payload
-from repro.bench.runner import BENCH_KERNELS, SCALE_SHAPES, BenchShape, run_benchmarks
+from repro.bench.runner import (
+    ALL_BENCH_KERNELS,
+    BENCH_KERNELS,
+    CSR_BENCH_KERNELS,
+    TRAIN_MATRIX_KERNEL,
+    SCALE_SHAPES,
+    BenchShape,
+    run_benchmarks,
+    run_csr_benchmarks,
+    run_train_matrix,
+)
 from repro.core.backend import available_backends
 
 
@@ -46,11 +56,23 @@ def main(argv=None) -> int:
                         help="discarded warmup runs per measurement (default: 1)")
     parser.add_argument("--patterns", nargs="+", default=["1:2", "2:4"],
                         help="N:M patterns to benchmark (default: 1:2 2:4)")
-    parser.add_argument("--kernels", nargs="+", default=None, choices=BENCH_KERNELS,
-                        help="subset of kernels to benchmark (default: all)")
+    parser.add_argument("--kernels", nargs="+", default=None,
+                        choices=ALL_BENCH_KERNELS,
+                        help="subset of kernels to benchmark (default: all; "
+                             "includes the *_csr padded-CSR kernels and the "
+                             "attention_train_matrix mechanism sweep)")
+    parser.add_argument("--csr-window", type=int, default=16,
+                        help="half-width of the Longformer-style band mask the "
+                             "*_csr kernels are timed on (default: 16)")
+    parser.add_argument("--mechanisms", nargs="+", default=None,
+                        help="mechanism subset for the attention_train_matrix "
+                             "sweep (default: every trainable mask-based "
+                             "mechanism with a compressed path)")
     parser.add_argument("--backends", nargs="+", default=["reference", "fast"],
                         choices=available_backends(),
-                        help="backends to time; the first is the speedup baseline")
+                        help="backends to time; the first is the speedup baseline "
+                             "(attention_train_matrix rows are dense-vs-sparse "
+                             "paths instead, both dispatching to the last entry)")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--output", default=None, metavar="BENCH_kernels.json",
                         help="write the machine-readable JSON artifact here")
@@ -58,16 +80,45 @@ def main(argv=None) -> int:
                         help="embed raw per-repeat timings in the JSON output")
     args = parser.parse_args(argv)
 
-    results = run_benchmarks(
-        scale=args.scale,
-        repeats=args.repeats,
-        warmup=args.warmup,
-        patterns=tuple(args.patterns),
-        backends=tuple(args.backends),
-        kernels=args.kernels,
-        seed=args.seed,
-        shape=args.shape,
-    )
+    selected = tuple(args.kernels) if args.kernels else ALL_BENCH_KERNELS
+    classic = [k for k in selected if k in BENCH_KERNELS]
+    csr = [k for k in selected if k in CSR_BENCH_KERNELS]
+
+    results = []
+    if classic:
+        results += run_benchmarks(
+            scale=args.scale,
+            repeats=args.repeats,
+            warmup=args.warmup,
+            patterns=tuple(args.patterns),
+            backends=tuple(args.backends),
+            kernels=classic,
+            seed=args.seed,
+            shape=args.shape,
+        )
+    if csr:
+        results += run_csr_benchmarks(
+            scale=args.scale,
+            repeats=args.repeats,
+            warmup=args.warmup,
+            window=args.csr_window,
+            backends=tuple(args.backends),
+            kernels=csr,
+            seed=args.seed,
+            shape=args.shape,
+        )
+    if TRAIN_MATRIX_KERNEL in selected:
+        results += run_train_matrix(
+            scale=args.scale,
+            repeats=args.repeats,
+            warmup=args.warmup,
+            mechanisms=args.mechanisms,
+            # dense/sparse is the matrix's row axis; the kernel backend both
+            # paths dispatch to is the last (measured) --backends entry
+            backend=args.backends[-1],
+            seed=args.seed,
+            shape=args.shape,
+        )
     print(format_table(results))
     if args.output:
         payload = results_to_payload(

@@ -9,9 +9,15 @@
       "repeats": 5,
       "results": [
         {
-          "kernel": "sddmm_nm",           # or masked_softmax|spmm|softmax_spmm|attention_e2e
-          "shape": "B2xH4xL256xD64/2:4",  # problem size / N:M pattern
-          "backend": "fast",              # reference|fast
+          "kernel": "sddmm_nm",           # or masked_softmax|spmm|softmax_spmm|
+                                          #   attention_e2e|attention_train_step|
+                                          #   *_csr (padded-CSR pipeline)|
+                                          #   attention_train_matrix (per-mechanism)
+          "shape": "B2xH4xL256xD64/2:4",  # problem size / N:M pattern — or
+                                          #   /longformer-w16 (csr rows),
+                                          #   /<mechanism> (train-matrix rows)
+          "backend": "fast",              # reference|fast (dense|sparse on
+                                          #   attention_train_matrix rows)
           "median_s": 0.0123,             # seconds, median over repeats
           "p10_s": 0.0120,
           "p90_s": 0.0130,

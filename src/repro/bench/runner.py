@@ -16,13 +16,16 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.baselines.longformer import longformer_mask
 from repro.core.attention import dfss_attention
 from repro.core.backend import REFERENCE, get_kernel
+from repro.core.padded_csr import PaddedCSRMatrix
 from repro.core.patterns import resolve_pattern
-from repro.core.sddmm import sddmm_nm
+from repro.core.sddmm import sddmm_csr, sddmm_nm
 from repro.core.softmax import sparse_softmax
 from repro.nn.attention_layer import DfssCore
 from repro.nn.autograd import Tensor
+from repro.registry import available_mechanisms, make_core
 from repro.utils.seeding import new_rng
 
 
@@ -61,6 +64,22 @@ BENCH_KERNELS = (
     "attention_e2e",
     "attention_train_step",
 )
+
+#: Padded-CSR pipeline stages, timed on a Longformer-style band + global
+#: mask (ragged row lengths) by :func:`run_csr_benchmarks`.
+CSR_BENCH_KERNELS = (
+    "sddmm_csr",
+    "masked_softmax_csr",
+    "spmm_csr",
+    "spmm_t_csr",
+)
+
+#: Per-mechanism train-step matrix (sparse compressed path vs dense masked
+#: autograd path) produced by :func:`run_train_matrix`.
+TRAIN_MATRIX_KERNEL = "attention_train_matrix"
+
+#: Everything ``python -m repro.bench`` runs by default.
+ALL_BENCH_KERNELS = BENCH_KERNELS + CSR_BENCH_KERNELS + (TRAIN_MATRIX_KERNEL,)
 
 
 @dataclass
@@ -214,27 +233,218 @@ def run_benchmarks(
             baseline_out = densify(run(baseline_backend))
             baseline_median: Optional[float] = None
             for backend in backends:
-                timings = _time(lambda: run(backend), repeats, warmup)
-                median = float(np.median(timings))
-                if backend == baseline_backend:
-                    baseline_median = median
-                    speedup = 1.0
-                    parity = None
-                else:
-                    speedup = baseline_median / median if median > 0 else float("inf")
-                    parity = _rel_frobenius(densify(run(backend)), baseline_out)
-                results.append(
-                    BenchResult(
-                        kernel=kernel,
-                        shape=shape.label(pattern),
-                        backend=backend,
-                        median_s=median,
-                        p10_s=float(np.percentile(timings, 10)),
-                        p90_s=float(np.percentile(timings, 90)),
-                        speedup=speedup,
-                        parity_max_rel_err=parity,
-                        repeats=repeats,
-                        timings_s=[float(t) for t in timings],
-                    )
+                parity = (
+                    None
+                    if backend == baseline_backend
+                    else _rel_frobenius(densify(run(backend)), baseline_out)
                 )
+                row = _time_row(
+                    kernel, shape.label(pattern), backend, lambda: run(backend),
+                    repeats, warmup, baseline_median, parity,
+                )
+                if backend == baseline_backend:
+                    baseline_median = row.median_s
+                results.append(row)
+    return results
+
+
+def _resolve_shape(scale: str, shape: Optional[BenchShape]) -> BenchShape:
+    if shape is not None:
+        return shape
+    if scale not in SCALE_SHAPES:
+        raise ValueError(
+            f"unknown scale {scale!r}; expected one of {'|'.join(SCALE_SHAPES)}"
+        )
+    return SCALE_SHAPES[scale]
+
+
+def _time_row(
+    kernel: str,
+    shape_label: str,
+    backend: str,
+    fn: Callable[[], object],
+    repeats: int,
+    warmup: int,
+    baseline_median: Optional[float],
+    parity: Optional[float],
+) -> BenchResult:
+    timings = _time(fn, repeats, warmup)
+    median = float(np.median(timings))
+    if baseline_median is None:
+        speedup = 1.0
+    else:
+        speedup = baseline_median / median if median > 0 else float("inf")
+    return BenchResult(
+        kernel=kernel,
+        shape=shape_label,
+        backend=backend,
+        median_s=median,
+        p10_s=float(np.percentile(timings, 10)),
+        p90_s=float(np.percentile(timings, 90)),
+        speedup=speedup,
+        parity_max_rel_err=parity,
+        repeats=repeats,
+        timings_s=[float(t) for t in timings],
+    )
+
+
+def run_csr_benchmarks(
+    scale: str = "smoke",
+    repeats: int = 5,
+    warmup: int = 1,
+    window: int = 16,
+    backends: Sequence[str] = (REFERENCE, "fast"),
+    kernels: Optional[Sequence[str]] = None,
+    seed: int = 0,
+    shape: Optional[BenchShape] = None,
+) -> List[BenchResult]:
+    """Time the padded-CSR kernels on a Longformer-style ragged band mask.
+
+    The mask (sliding window of half-width ``window`` plus one global token)
+    exercises the layout's ragged row lengths: the global row is full-width,
+    band rows are narrow.  Rows mirror :func:`run_benchmarks` — the first
+    backend is the speedup/parity reference — and land in the same
+    ``BENCH_kernels.json`` under the ``*_csr`` kernel names with shape labels
+    like ``B2xH4xL256xD64/longformer-w16``.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    shape = _resolve_shape(scale, shape)
+    selected = tuple(kernels) if kernels else CSR_BENCH_KERNELS
+    unknown = set(selected) - set(CSR_BENCH_KERNELS)
+    if unknown:
+        raise ValueError(
+            f"unknown kernels {sorted(unknown)}; expected {CSR_BENCH_KERNELS}"
+        )
+    if not backends:
+        raise ValueError("at least one backend is required")
+    baseline_backend = backends[0]
+
+    rng = new_rng(seed)
+    dims = (shape.batch, shape.heads, shape.seq_len, shape.head_dim)
+    q = rng.normal(size=dims).astype(np.float32)
+    k = rng.normal(size=dims).astype(np.float32)
+    v = rng.normal(size=dims).astype(np.float32)
+    g = rng.normal(size=dims).astype(np.float32)
+    mask = longformer_mask(shape.seq_len, shape.seq_len, window, 1)
+    structure = PaddedCSRMatrix.from_mask(mask).broadcast_to(dims[:2])
+    scores = sddmm_csr(q, k, structure)
+    weights = sparse_softmax(scores)
+    label = shape.label(f"longformer-w{window}")
+
+    cases: Dict[str, Tuple[Callable[[str], object], Callable[[object], np.ndarray]]] = {
+        "sddmm_csr": (
+            lambda backend: sddmm_csr(q, k, structure, backend=backend),
+            lambda out: out.to_dense(0.0),
+        ),
+        "masked_softmax_csr": (
+            lambda backend: get_kernel("masked_softmax", backend)(scores),
+            lambda out: out.to_dense(0.0),
+        ),
+        "spmm_csr": (
+            lambda backend: get_kernel("spmm", backend)(weights, v),
+            lambda out: out,
+        ),
+        "spmm_t_csr": (
+            lambda backend: get_kernel("spmm_t", backend)(weights, g),
+            lambda out: out,
+        ),
+    }
+
+    results: List[BenchResult] = []
+    for kernel in selected:
+        run, densify = cases[kernel]
+        baseline_out = densify(run(baseline_backend))
+        baseline_median: Optional[float] = None
+        for backend in backends:
+            parity = (
+                None
+                if backend == baseline_backend
+                else _rel_frobenius(densify(run(backend)), baseline_out)
+            )
+            row = _time_row(
+                kernel, label, backend, lambda: run(backend),
+                repeats, warmup, baseline_median, parity,
+            )
+            if backend == baseline_backend:
+                baseline_median = row.median_s
+            results.append(row)
+    return results
+
+
+def run_train_matrix(
+    scale: str = "smoke",
+    repeats: int = 3,
+    warmup: int = 1,
+    mechanisms: Optional[Sequence[str]] = None,
+    backend: Optional[str] = None,
+    seed: int = 0,
+    shape: Optional[BenchShape] = None,
+) -> List[BenchResult]:
+    """Per-mechanism fwd+bwd train-step matrix: compressed sparse vs dense autograd.
+
+    Sweeps every mask-based trainable mechanism
+    (``available_mechanisms(trainable=True, produces_mask=True,
+    compressed=True)``) and times one full training step (forward + backward
+    on fresh leaf tensors) through both execution paths of its core:
+
+    * ``dense`` — the dense masked-softmax autograd formulation
+      (``path="dense"``), the numerical oracle and speedup baseline;
+    * ``sparse`` — the compressed autograd op (``path="sparse"``): the N:M
+      pipeline for DFSS-family mechanisms, padded CSR for every other mask.
+
+    Rows land in ``BENCH_kernels.json`` as kernel ``attention_train_matrix``
+    with shape labels like ``B2xH4xL256xD64/local``; the ``sparse`` row's
+    ``speedup`` is dense-median / sparse-median and its parity column checks
+    output + input gradients between the two paths.  ``backend`` selects the
+    kernel backend both paths dispatch to (default: ``$REPRO_BACKEND``,
+    else "fast").
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    shape = _resolve_shape(scale, shape)
+    if mechanisms is None:
+        mechanisms = available_mechanisms(
+            trainable=True, produces_mask=True, compressed=True
+        )
+
+    rng = new_rng(seed)
+    dims = (shape.batch, shape.heads, shape.seq_len, shape.head_dim)
+    q = rng.normal(size=dims).astype(np.float32)
+    k = rng.normal(size=dims).astype(np.float32)
+    v = rng.normal(size=dims).astype(np.float32)
+
+    results: List[BenchResult] = []
+    for mechanism in mechanisms:
+        cores = {
+            path: make_core(
+                mechanism, seq_len_hint=shape.seq_len, path=path, backend=backend
+            )
+            for path in ("dense", "sparse")
+        }
+
+        def step(path: str) -> np.ndarray:
+            qt = Tensor(q, requires_grad=True)
+            kt = Tensor(k, requires_grad=True)
+            vt = Tensor(v, requires_grad=True)
+            out = cores[path](qt, kt, vt)
+            out.sum().backward()
+            return np.concatenate(
+                [out.data.ravel(), qt.grad.ravel(), kt.grad.ravel(), vt.grad.ravel()]
+            )
+
+        label = shape.label(mechanism)
+        dense_out = step("dense")
+        dense_row = _time_row(
+            TRAIN_MATRIX_KERNEL, label, "dense", lambda: step("dense"),
+            repeats, warmup, None, None,
+        )
+        results.append(dense_row)
+        parity = _rel_frobenius(step("sparse"), dense_out)
+        results.append(
+            _time_row(
+                TRAIN_MATRIX_KERNEL, label, "sparse", lambda: step("sparse"),
+                repeats, warmup, dense_row.median_s, parity,
+            )
+        )
     return results

@@ -23,7 +23,11 @@ This package implements the paper's primary contribution:
 """
 
 from repro.core.attention import DfssAttention, dfss_attention, full_attention
-from repro.core.attention_grad import dfss_attention_bwd, softmax_grad_compressed
+from repro.core.attention_grad import (
+    dfss_attention_bwd,
+    masked_attention_bwd,
+    softmax_grad_compressed,
+)
 from repro.core.backend import (
     available_backends,
     available_kernels,
@@ -46,9 +50,11 @@ from repro.core.patterns import (
     default_pattern_for_dtype,
     resolve_pattern,
 )
+from repro.core.layout import CompressedLayout, dense_positions
+from repro.core.padded_csr import PaddedCSRMatrix
 from repro.core.precision import quantize, simulate_tensor_core_matmul, to_bfloat16
 from repro.core.pruning import nm_compress, nm_decompress, nm_prune_dense, nm_prune_mask
-from repro.core.sddmm import sddmm_dense, sddmm_masked, sddmm_nm, sddmm_nm_tiled
+from repro.core.sddmm import sddmm_csr, sddmm_dense, sddmm_masked, sddmm_nm, sddmm_nm_tiled
 from repro.core.softmax import dense_softmax, sparse_softmax
 from repro.core.sparse import NMSparseMatrix
 from repro.core.spmm import softmax_spmm, spmm, spmm_t
@@ -57,8 +63,12 @@ __all__ = [
     "DfssAttention",
     "dfss_attention",
     "dfss_attention_bwd",
+    "masked_attention_bwd",
     "full_attention",
     "softmax_grad_compressed",
+    "CompressedLayout",
+    "dense_positions",
+    "PaddedCSRMatrix",
     "available_backends",
     "available_kernels",
     "get_kernel",
@@ -82,6 +92,7 @@ __all__ = [
     "nm_decompress",
     "nm_prune_dense",
     "nm_prune_mask",
+    "sddmm_csr",
     "sddmm_dense",
     "sddmm_masked",
     "sddmm_nm",

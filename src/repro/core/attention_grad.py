@@ -1,17 +1,24 @@
-"""Analytic backward pass of DFSS attention on the compressed representation.
+"""Analytic backward pass of compressed sparse attention, layout-generic.
 
-The forward pipeline (``sddmm_nm`` → sparse softmax → SpMM) treats the N:M
-selection as a constant of the graph, exactly as the paper's kernels do.  Its
-gradients therefore live entirely on the compressed nonzeros:
+The forward pipeline (SDDMM into a compressed structure → sparse softmax →
+SpMM) treats the sparsity selection — the N:M epilogue's choice *or* a
+mask-based mechanism's padded-CSR mask — as a constant of the graph, exactly
+as the paper's kernels do.  Its gradients therefore live entirely on the
+compressed nonzeros:
 
 * ``dV = Pᵀ dO`` — a transposed SpMM over the compressed probabilities;
 * ``dP = (dO Vᵀ) ∘ mask`` — an SDDMM restricted to the existing structure;
 * ``dS = P ∘ (dP − rowsum(P ∘ dP))`` — the row-wise softmax Jacobian applied
-  on compressed rows (``N/M`` of the dense width);
+  on compressed rows;
 * ``dQ = dS K · scale`` and ``dK = dSᵀ Q · scale`` — an SpMM and a transposed
   SpMM reusing the same structure.
 
-The fused ``dfss_attention_bwd`` kernel is registered with two backends:
+Every primitive dispatches on the :class:`~repro.core.layout.CompressedLayout`
+protocol, so one registered backward serves :class:`NMSparseMatrix` and
+:class:`~repro.core.padded_csr.PaddedCSRMatrix` alike — padding lanes carry
+zero probability, which makes every contraction exact without special cases.
+
+The fused ``attention_bwd`` kernel is registered with two backends:
 ``reference`` composes the per-slice loop oracles, ``fast`` the batched
 kernels, and additionally shares the scattered dense ``dS`` tile between the
 ``dQ`` and ``dK`` contractions so the scatter runs once.
@@ -24,7 +31,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.core.backend import FAST, REFERENCE, get_kernel, register_kernel
-from repro.core.sparse import NMSparseMatrix
+from repro.core.layout import CompressedLayout
 from repro.utils.shapes import as_batched_3d, restore_batch_shape
 
 
@@ -35,8 +42,8 @@ def softmax_grad_compressed(
 
     Both operands are compressed ``(..., rows, kept)`` value arrays sharing
     one sparsity structure; the result has the same shape.  Rows that were
-    fully masked out (all-zero probabilities, e.g. blocked-ELL sentinels)
-    yield an exactly-zero gradient.
+    fully masked out (all-zero probabilities, e.g. blocked-ELL sentinels or
+    padded-CSR rows of length zero) yield an exactly-zero gradient.
     """
     probs = np.asarray(probs, dtype=np.float32)
     d_probs = np.asarray(d_probs, dtype=np.float32)
@@ -44,8 +51,8 @@ def softmax_grad_compressed(
     return probs * (d_probs - inner)
 
 
-def dfss_attention_bwd(
-    probs: NMSparseMatrix,
+def masked_attention_bwd(
+    probs: CompressedLayout,
     q: np.ndarray,
     k: np.ndarray,
     v: np.ndarray,
@@ -55,13 +62,15 @@ def dfss_attention_bwd(
     out: Optional[np.ndarray] = None,
     backend: Optional[str] = None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Gradients ``(dQ, dK, dV)`` of the compressed DFSS attention forward.
+    """Gradients ``(dQ, dK, dV)`` of the compressed attention forward.
 
     Parameters
     ----------
     probs:
-        Compressed softmax probabilities (pre-dropout) with the structure
-        chosen by the forward SDDMM epilogue.
+        Compressed softmax probabilities (pre-dropout) in any
+        :class:`~repro.core.layout.CompressedLayout` — the N:M structure
+        chosen by the forward SDDMM epilogue or the padded-CSR structure of
+        a mask-based mechanism.
     q, k, v:
         The forward operands, ``(..., seq, d)``.
     d_out:
@@ -80,13 +89,18 @@ def dfss_attention_bwd(
         Kernel backend ("reference" or "fast"); defaults to ``$REPRO_BACKEND``,
         else "fast".
     """
-    return get_kernel("dfss_attention_bwd", backend)(
+    return get_kernel("attention_bwd", backend)(
         probs, q, k, v, d_out, scale, drop_keep, out
     )
 
 
+#: Backwards-compatible name from when the compressed backward only handled
+#: the N:M layout of the DFSS path.
+dfss_attention_bwd = masked_attention_bwd
+
+
 def _compose_bwd(
-    probs: NMSparseMatrix,
+    probs: CompressedLayout,
     q: np.ndarray,
     k: np.ndarray,
     v: np.ndarray,
@@ -111,9 +125,9 @@ def _compose_bwd(
     return d_q, d_k, d_v
 
 
-@register_kernel("dfss_attention_bwd", REFERENCE)
-def _dfss_attention_bwd_reference(
-    probs: NMSparseMatrix,
+@register_kernel("attention_bwd", REFERENCE)
+def _attention_bwd_reference(
+    probs: CompressedLayout,
     q: np.ndarray,
     k: np.ndarray,
     v: np.ndarray,
@@ -127,9 +141,9 @@ def _dfss_attention_bwd_reference(
     return _compose_bwd(probs, q, k, v, d_out, scale, drop_keep, REFERENCE)
 
 
-@register_kernel("dfss_attention_bwd", FAST)
-def _dfss_attention_bwd_fast(
-    probs: NMSparseMatrix,
+@register_kernel("attention_bwd", FAST)
+def _attention_bwd_fast(
+    probs: CompressedLayout,
     q: np.ndarray,
     k: np.ndarray,
     v: np.ndarray,
@@ -143,10 +157,10 @@ def _dfss_attention_bwd_fast(
     Equivalent to composing the fast primitives, but the CPU stand-in for the
     metadata walk runs once per training step: the dense zero-filled tile the
     forward SpMM scattered the probabilities into is reused
-    (:meth:`NMSparseMatrix.to_scattered`), after which every step is plain
-    BLAS and elementwise algebra.  The zeros at pruned positions make the
-    dense formulation exact — ``P ∘ (dP − rowsum(P ∘ dP))`` vanishes wherever
-    ``P`` was pruned, so no gather of ``dP`` back to the compressed layout is
+    (``probs.to_scattered()``), after which every step is plain BLAS and
+    elementwise algebra.  The zeros at pruned/padded positions make the dense
+    formulation exact — ``P ∘ (dP − rowsum(P ∘ dP))`` vanishes wherever ``P``
+    was pruned, so no gather of ``dP`` back to the compressed layout is
     needed before the ``dQ``/``dK`` contractions.  When the forward output is
     available the Jacobian's row inner products use
     ``rowsum(P ∘ dP) = rowsum(dO ∘ O)``, which reads the narrow output matrix
@@ -162,23 +176,15 @@ def _dfss_attention_bwd_fast(
         applied_dense = p_dense
         keep_dense = None
     else:
-        cols3, _ = as_batched_3d(probs.column_indices())
-        pvals3, _ = as_batched_3d(probs.values)
-        keep3, _ = as_batched_3d(np.asarray(drop_keep, dtype=np.float32))
-
-        def scatter(compressed3: np.ndarray) -> np.ndarray:
-            dense = np.zeros_like(p_dense)
-            np.put_along_axis(dense, cols3, compressed3, axis=-1)
-            return dense
-
-        applied_dense = scatter(pvals3 * keep3)
-        keep_dense = scatter(keep3)
+        keep = np.asarray(drop_keep, dtype=np.float32)
+        applied_dense, _ = as_batched_3d(probs.scatter_compressed(probs.values * keep))
+        keep_dense, _ = as_batched_3d(probs.scatter_compressed(keep))
 
     # dV = Pᵀ dO (P after dropout)
     d_v = np.matmul(np.swapaxes(applied_dense, -1, -2), g3)
 
     # dP = (dO Vᵀ) ∘ mask — the ∘ mask is implicit: dS multiplies by P below,
-    # and P is exactly zero at pruned positions
+    # and P is exactly zero at pruned/padded positions
     d_probs = np.matmul(g3, np.swapaxes(v3, -1, -2))
     if keep_dense is not None:
         d_probs = d_probs * keep_dense

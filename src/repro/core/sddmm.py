@@ -186,21 +186,32 @@ def _sddmm_nm_reference(
 def sddmm_masked(
     a: np.ndarray,
     b: np.ndarray,
-    structure: NMSparseMatrix,
+    structure: "CompressedLayout",
     backend: Optional[str] = None,
-) -> NMSparseMatrix:
-    """SDDMM restricted to an existing N:M structure: ``(A Bᵀ) ∘ mask``.
+) -> "CompressedLayout":
+    """SDDMM restricted to an existing compressed structure: ``(A Bᵀ) ∘ mask``.
 
     Computes ``C[i, k] = A[i, :] · B[col(i, k), :]`` for every stored nonzero
     of ``structure`` and returns a compressed matrix sharing that structure.
-    This is the backward-pass sibling of :func:`sddmm_nm`: the selection is a
-    constant of the graph, so gradients such as ``dP = (dO Vᵀ) ∘ mask`` only
-    ever need the already-chosen positions — no pruning epilogue runs here.
+    ``structure`` may be any :class:`~repro.core.layout.CompressedLayout`
+    (N:M or padded CSR; padding lanes of a padded layout come back exactly
+    zero).  This is the backward-pass sibling of :func:`sddmm_nm`: the
+    selection is a constant of the graph, so gradients such as
+    ``dP = (dO Vᵀ) ∘ mask`` only ever need the already-chosen positions — no
+    pruning epilogue runs here.
     """
     return get_kernel("sddmm_masked", backend)(a, b, structure)
 
 
-def _check_masked_operands(a: np.ndarray, b: np.ndarray, structure: NMSparseMatrix):
+def _zero_padding_lanes(values: np.ndarray, structure) -> np.ndarray:
+    """Zero the padding lanes of gathered values (no-op for fixed-width layouts)."""
+    valid = structure.valid_lanes()
+    if valid is None:
+        return values
+    return np.where(valid, values, np.float32(0.0))
+
+
+def _check_masked_operands(a: np.ndarray, b: np.ndarray, structure):
     a = np.asarray(a, dtype=np.float32)
     b = np.asarray(b, dtype=np.float32)
     if a.shape[:-2] != structure.batch_shape or b.shape[:-2] != structure.batch_shape:
@@ -224,8 +235,8 @@ def _check_masked_operands(a: np.ndarray, b: np.ndarray, structure: NMSparseMatr
 
 @register_kernel("sddmm_masked", REFERENCE)
 def _sddmm_masked_reference(
-    a: np.ndarray, b: np.ndarray, structure: NMSparseMatrix
-) -> NMSparseMatrix:
+    a: np.ndarray, b: np.ndarray, structure
+):
     """Per-slice gather + einsum, walking the metadata like each thread block."""
     a, b = _check_masked_operands(a, b, structure)
     a3, batch_shape = as_batched_3d(a)
@@ -235,21 +246,88 @@ def _sddmm_masked_reference(
     for s in range(a3.shape[0]):
         gathered = b3[s][cols3[s]]  # (n_q, kept, d)
         out[s] = np.einsum("qd,qkd->qk", a3[s], gathered, optimize=True)
-    return structure.with_values(restore_batch_shape(out, batch_shape))
+    values = _zero_padding_lanes(restore_batch_shape(out, batch_shape), structure)
+    return structure.with_values(values)
 
 
 @register_kernel("sddmm_masked", FAST)
 def _sddmm_masked_fast(
-    a: np.ndarray, b: np.ndarray, structure: NMSparseMatrix
-) -> NMSparseMatrix:
+    a: np.ndarray, b: np.ndarray, structure
+):
     """Batched dense contraction followed by a gather of the stored positions."""
     a, b = _check_masked_operands(a, b, structure)
-    a3, batch_shape = as_batched_3d(a)
+    a3, _ = as_batched_3d(a)
     b3, _ = as_batched_3d(b)
-    cols3, _ = as_batched_3d(structure.column_indices())
     dense = np.matmul(a3, np.swapaxes(b3, -1, -2))
-    vals = np.take_along_axis(dense, cols3, axis=-1)
-    return structure.with_values(restore_batch_shape(vals, batch_shape))
+    values = _zero_padding_lanes(structure.gather_dense(dense), structure)
+    return structure.with_values(values)
+
+
+def sddmm_csr(
+    q: np.ndarray,
+    k: np.ndarray,
+    structure,
+    scale: Optional[float] = None,
+    backend: Optional[str] = None,
+):
+    """SDDMM writing ``scale * Q Kᵀ`` into an existing padded-CSR structure.
+
+    This is the forward kernel of the mask-based sparse training path: the
+    mechanism's boolean mask is compressed once
+    (:meth:`~repro.core.padded_csr.PaddedCSRMatrix.from_mask`) and the score
+    computation touches only the stored columns.  Padding lanes are written
+    with the ``MASKED_SCORE`` sentinel so the succeeding sparse softmax
+    assigns them exactly zero weight — a fully masked row (length 0) comes
+    out with zero attention everywhere, matching the dense masked softmax.
+
+    ``structure`` may be any :class:`~repro.core.layout.CompressedLayout`;
+    for a fixed-width layout (no padding) the result simply shares its
+    structure, like :func:`sddmm_masked` with the scale applied.
+    """
+    return get_kernel("sddmm_csr", backend)(q, k, structure, scale=scale)
+
+
+def _mask_padding_lanes(values: np.ndarray, structure) -> np.ndarray:
+    """Stamp the masked-score sentinel onto padding lanes of score values."""
+    valid = structure.valid_lanes()
+    if valid is None:
+        return values
+    return np.where(valid, values, MASKED_SCORE)
+
+
+def _csr_scale(q3: np.ndarray, scale: Optional[float]) -> np.float32:
+    return np.float32(1.0 / np.sqrt(q3.shape[-1]) if scale is None else scale)
+
+
+@register_kernel("sddmm_csr", REFERENCE)
+def _sddmm_csr_reference(
+    q: np.ndarray, k: np.ndarray, structure, scale: Optional[float] = None
+):
+    """Per-slice gather + einsum over the stored columns only."""
+    q, k = _check_masked_operands(q, k, structure)
+    q3, batch_shape = as_batched_3d(q)
+    k3, _ = as_batched_3d(k)
+    cols3, _ = as_batched_3d(structure.column_indices())
+    factor = _csr_scale(q3, scale)
+    out = np.empty(cols3.shape, dtype=np.float32)
+    for s in range(q3.shape[0]):
+        gathered = k3[s][cols3[s]]  # (n_q, width, d)
+        out[s] = np.einsum("qd,qkd->qk", q3[s], gathered, optimize=True) * factor
+    values = _mask_padding_lanes(restore_batch_shape(out, batch_shape), structure)
+    return structure.with_values(values)
+
+
+@register_kernel("sddmm_csr", FAST)
+def _sddmm_csr_fast(
+    q: np.ndarray, k: np.ndarray, structure, scale: Optional[float] = None
+):
+    """Batched contraction + one gather of the stored positions."""
+    q, k = _check_masked_operands(q, k, structure)
+    q3, _ = as_batched_3d(q)
+    k3, _ = as_batched_3d(k)
+    scores = np.matmul(q3, np.swapaxes(k3, -1, -2)) * _csr_scale(q3, scale)
+    values = _mask_padding_lanes(structure.gather_dense(scores), structure)
+    return structure.with_values(values)
 
 
 def sddmm_dense(

@@ -19,7 +19,6 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.core.backend import FAST, REFERENCE, get_kernel, register_kernel
-from repro.core.sparse import NMSparseMatrix
 
 #: Values at or below this threshold are treated as masked-out logits (they
 #: come from blocked-ELL masking in the fused SDDMM) and receive zero weight.
@@ -76,11 +75,15 @@ def masked_exp_terms(values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     return exp, denom
 
 
-def sparse_softmax(scores: NMSparseMatrix, backend: Optional[str] = None) -> NMSparseMatrix:
-    """Row softmax over the stored nonzeros of an N:M-compressed score matrix.
+def sparse_softmax(scores, backend: Optional[str] = None):
+    """Row softmax over the stored nonzeros of a compressed score matrix.
 
-    Entries produced by blocked-ELL masking (values ≤ ``MASKED_LOGIT_THRESHOLD``)
-    are excluded from the normalisation and receive exactly zero weight.
+    ``scores`` may be any :class:`~repro.core.layout.CompressedLayout`
+    (N:M or padded CSR) — the kernel only touches ``.values`` and the
+    structure is carried through unchanged.  Entries produced by blocked-ELL
+    or padded-CSR masking (values ≤ ``MASKED_LOGIT_THRESHOLD``, e.g. the
+    padding-lane sentinel) are excluded from the normalisation and receive
+    exactly zero weight.
     ``backend`` selects the registered ``masked_softmax`` implementation
     (default: ``$REPRO_BACKEND``, else "fast").
     """
@@ -88,19 +91,19 @@ def sparse_softmax(scores: NMSparseMatrix, backend: Optional[str] = None) -> NMS
 
 
 @register_kernel("masked_softmax", FAST)
-def _sparse_softmax_fast(scores: NMSparseMatrix) -> NMSparseMatrix:
+def _sparse_softmax_fast(scores):
     """One vectorised pass over every batch/head slice at once."""
     exp, denom = masked_exp_terms(scores.values)
     return scores.with_values(exp / denom)
 
 
 @register_kernel("masked_softmax", REFERENCE)
-def _sparse_softmax_reference(scores: NMSparseMatrix) -> NMSparseMatrix:
+def _sparse_softmax_reference(scores):
     """Row-chunked loop implementation (the Appendix A.4 structure)."""
     return sparse_softmax_streaming(scores)
 
 
-def sparse_softmax_streaming(scores: NMSparseMatrix, chunk_rows: int = 1024) -> NMSparseMatrix:
+def sparse_softmax_streaming(scores, chunk_rows: int = 1024):
     """Chunked variant of :func:`sparse_softmax` for very long sequences.
 
     Mirrors the "long sequence" softmax implementation discussed in Appendix

@@ -141,6 +141,35 @@ class NMSparseMatrix:
             self.__dict__["_column_cache"] = cached
         return cached
 
+    def row_lengths(self) -> np.ndarray:
+        """Valid lane count per row — constant ``kept`` for the N:M layout."""
+        return np.full(
+            self.batch_shape + (self.rows,), self.kept_cols, dtype=np.int32
+        )
+
+    def valid_lanes(self):
+        """Lane-validity mask; ``None`` because every N:M lane is valid."""
+        return None
+
+    def gather_dense(self, dense: np.ndarray) -> np.ndarray:
+        """Gather every stored lane's entry out of a dense ``dense_shape`` array."""
+        dense = np.asarray(dense, dtype=np.float32)
+        return np.take_along_axis(
+            dense.reshape(self.dense_shape), self.column_indices(), axis=-1
+        )
+
+    def scatter_compressed(self, values: np.ndarray) -> np.ndarray:
+        """Scatter compressed ``values`` (sharing this structure) into a dense
+        zero-filled tile — the CompressedLayout scatter primitive."""
+        values = np.asarray(values, dtype=np.float32)
+        if values.shape != self.values.shape:
+            raise ValueError(
+                f"compressed values shape {values.shape} != {self.values.shape}"
+            )
+        dense = np.zeros(values.shape[:-1] + (self.dense_cols,), dtype=np.float32)
+        np.put_along_axis(dense, self.column_indices(), values, axis=-1)
+        return dense
+
     def to_scattered(self, cache: bool = False) -> np.ndarray:
         """Dense zero-filled scatter of the stored values.
 
@@ -155,8 +184,7 @@ class NMSparseMatrix:
         cached = self.__dict__.get("_scatter_cache")
         if cached is not None and cached[0] is self.values:
             return cached[1]
-        dense = np.zeros(self.values.shape[:-1] + (self.dense_cols,), dtype=np.float32)
-        np.put_along_axis(dense, self.column_indices(), self.values, axis=-1)
+        dense = self.scatter_compressed(self.values)
         if cache:
             self.__dict__["_scatter_cache"] = (self.values, dense)
         return dense

@@ -1,8 +1,14 @@
-"""SpMM: multiply an N:M-compressed attention-weight matrix with dense V.
+"""SpMM: multiply a compressed attention-weight matrix with dense V.
 
 On the A100 this is the ``mma.sp`` sparse-tensor-core instruction consuming
-the (nonzeros, metadata) pair produced by the SDDMM epilogue.  Two backends
-carry the same contraction here:
+the (nonzeros, metadata) pair produced by the SDDMM epilogue.  Every kernel
+in this module dispatches on the :class:`~repro.core.layout.CompressedLayout`
+protocol, so the same registry entries serve the N:M layout
+(:class:`~repro.core.sparse.NMSparseMatrix`) and the per-row variable-nnz
+padded-CSR layout (:class:`~repro.core.padded_csr.PaddedCSRMatrix`) — padding
+lanes carry exactly-zero probabilities and clamped in-range columns, so the
+gather formulations contribute nothing there and the scatter formulations
+redirect them to a trash column.  Two backends carry the same contraction:
 
 * ``reference`` — a per-slice Python loop that gathers the addressed rows of
   V and contracts them with an einsum, mirroring how each thread block walks
@@ -26,12 +32,12 @@ from typing import Optional
 import numpy as np
 
 from repro.core.backend import FAST, REFERENCE, get_kernel, register_kernel
+from repro.core.layout import CompressedLayout
 from repro.core.softmax import masked_exp_terms
-from repro.core.sparse import NMSparseMatrix
 from repro.utils.shapes import as_batched_3d, restore_batch_shape
 
 
-def _check_operands(weights: NMSparseMatrix, v: np.ndarray) -> np.ndarray:
+def _check_operands(weights: CompressedLayout, v: np.ndarray) -> np.ndarray:
     """Validate the sparse/dense operand pair and return V as float32."""
     v = np.asarray(v, dtype=np.float32)
     if v.shape[:-2] != weights.batch_shape:
@@ -46,8 +52,8 @@ def _check_operands(weights: NMSparseMatrix, v: np.ndarray) -> np.ndarray:
     return v
 
 
-def spmm(weights: NMSparseMatrix, v: np.ndarray, backend: Optional[str] = None) -> np.ndarray:
-    """Compute ``A_sparse @ V`` where ``A_sparse`` is N:M compressed.
+def spmm(weights: CompressedLayout, v: np.ndarray, backend: Optional[str] = None) -> np.ndarray:
+    """Compute ``A_sparse @ V`` for any compressed-layout ``A_sparse``.
 
     Parameters
     ----------
@@ -68,7 +74,7 @@ def spmm(weights: NMSparseMatrix, v: np.ndarray, backend: Optional[str] = None) 
 
 
 @register_kernel("spmm", REFERENCE)
-def _spmm_reference(weights: NMSparseMatrix, v: np.ndarray) -> np.ndarray:
+def _spmm_reference(weights: CompressedLayout, v: np.ndarray) -> np.ndarray:
     """Per-slice gather + einsum, one Python iteration per batch/head slice."""
     v = _check_operands(weights, v)
     vals3, batch_shape = as_batched_3d(weights.values)
@@ -85,7 +91,7 @@ def _spmm_reference(weights: NMSparseMatrix, v: np.ndarray) -> np.ndarray:
     return restore_batch_shape(out, batch_shape)
 
 
-def _scatter_matmul(values: np.ndarray, structure: NMSparseMatrix, v3: np.ndarray) -> np.ndarray:
+def _scatter_matmul(values: np.ndarray, structure: CompressedLayout, v3: np.ndarray) -> np.ndarray:
     """Scatter compressed ``values`` into a dense tile and contract with BLAS.
 
     ``values`` shares the sparsity ``structure`` (column metadata and dense
@@ -96,15 +102,14 @@ def _scatter_matmul(values: np.ndarray, structure: NMSparseMatrix, v3: np.ndarra
     if values is structure.values:
         dense, _ = as_batched_3d(structure.to_scattered())
     else:
-        vals3, _ = as_batched_3d(values)
-        cols3, _ = as_batched_3d(structure.column_indices())
-        dense = np.zeros(vals3.shape[:-1] + (structure.dense_cols,), dtype=np.float32)
-        np.put_along_axis(dense, cols3, vals3, axis=-1)
+        # the layout owns the scatter: N:M writes every lane, padded CSR
+        # redirects padding lanes to its trash column
+        dense, _ = as_batched_3d(structure.scatter_compressed(values))
     return np.matmul(dense, v3)
 
 
 @register_kernel("spmm", FAST)
-def _spmm_fast(weights: NMSparseMatrix, v: np.ndarray) -> np.ndarray:
+def _spmm_fast(weights: CompressedLayout, v: np.ndarray) -> np.ndarray:
     """Batched scatter + BLAS contraction, no Python-level loops."""
     v = _check_operands(weights, v)
     v3, batch_shape = as_batched_3d(v)
@@ -113,7 +118,7 @@ def _spmm_fast(weights: NMSparseMatrix, v: np.ndarray) -> np.ndarray:
 
 
 def softmax_spmm(
-    scores: NMSparseMatrix, v: np.ndarray, backend: Optional[str] = None
+    scores: CompressedLayout, v: np.ndarray, backend: Optional[str] = None
 ) -> np.ndarray:
     """Sparse softmax over compressed ``scores`` fused with the SpMM against ``v``.
 
@@ -124,14 +129,14 @@ def softmax_spmm(
 
 
 @register_kernel("softmax_spmm", REFERENCE)
-def _softmax_spmm_reference(scores: NMSparseMatrix, v: np.ndarray) -> np.ndarray:
+def _softmax_spmm_reference(scores: CompressedLayout, v: np.ndarray) -> np.ndarray:
     """Unfused oracle: chunked sparse softmax followed by the loop SpMM."""
     weights = get_kernel("masked_softmax", REFERENCE)(scores)
     return _spmm_reference(weights, v)
 
 
 @register_kernel("softmax_spmm", FAST)
-def _softmax_spmm_fast(scores: NMSparseMatrix, v: np.ndarray) -> np.ndarray:
+def _softmax_spmm_fast(scores: CompressedLayout, v: np.ndarray) -> np.ndarray:
     """Fused path: contract the unnormalised exponentials, then divide once.
 
     ``softmax(s) @ V == (exp(s - max) @ V) / rowsum(exp(s - max))`` row by
@@ -146,9 +151,9 @@ def _softmax_spmm_fast(scores: NMSparseMatrix, v: np.ndarray) -> np.ndarray:
 
 
 def spmm_t(
-    weights: NMSparseMatrix, g: np.ndarray, backend: Optional[str] = None
+    weights: CompressedLayout, g: np.ndarray, backend: Optional[str] = None
 ) -> np.ndarray:
-    """Transposed SpMM ``A_sparseᵀ @ G`` for an N:M compressed ``A_sparse``.
+    """Transposed SpMM ``A_sparseᵀ @ G`` for any compressed-layout ``A_sparse``.
 
     This is the backward-pass sibling of :func:`spmm`: with ``A`` the
     compressed attention weights of dense shape ``(..., n_q, n_k)`` and ``G``
@@ -160,7 +165,7 @@ def spmm_t(
     return get_kernel("spmm_t", backend)(weights, g)
 
 
-def _check_transposed_operands(weights: NMSparseMatrix, g: np.ndarray) -> np.ndarray:
+def _check_transposed_operands(weights: CompressedLayout, g: np.ndarray) -> np.ndarray:
     g = np.asarray(g, dtype=np.float32)
     if g.shape[:-2] != weights.batch_shape:
         raise ValueError(
@@ -174,7 +179,7 @@ def _check_transposed_operands(weights: NMSparseMatrix, g: np.ndarray) -> np.nda
 
 
 @register_kernel("spmm_t", REFERENCE)
-def _spmm_t_reference(weights: NMSparseMatrix, g: np.ndarray) -> np.ndarray:
+def _spmm_t_reference(weights: CompressedLayout, g: np.ndarray) -> np.ndarray:
     """Per-slice scatter-add, one Python iteration per batch/head slice."""
     g = _check_transposed_operands(weights, g)
     vals3, batch_shape = as_batched_3d(weights.values)
@@ -192,7 +197,7 @@ def _spmm_t_reference(weights: NMSparseMatrix, g: np.ndarray) -> np.ndarray:
 
 
 @register_kernel("spmm_t", FAST)
-def _spmm_t_fast(weights: NMSparseMatrix, g: np.ndarray) -> np.ndarray:
+def _spmm_t_fast(weights: CompressedLayout, g: np.ndarray) -> np.ndarray:
     """Batched scatter into a dense tile, then one transposed BLAS contraction."""
     g = _check_transposed_operands(weights, g)
     g3, batch_shape = as_batched_3d(g)
@@ -201,7 +206,7 @@ def _spmm_t_fast(weights: NMSparseMatrix, g: np.ndarray) -> np.ndarray:
     return restore_batch_shape(out, batch_shape)
 
 
-def spmm_dense_reference(weights: NMSparseMatrix, v: np.ndarray) -> np.ndarray:
+def spmm_dense_reference(weights: CompressedLayout, v: np.ndarray) -> np.ndarray:
     """Reference implementation: densify the sparse matrix and matmul.
 
     Used in tests to pin the semantics of :func:`spmm`.
@@ -211,7 +216,7 @@ def spmm_dense_reference(weights: NMSparseMatrix, v: np.ndarray) -> np.ndarray:
 
 
 def spmm_row_blocked(
-    weights: NMSparseMatrix, v: np.ndarray, row_block: int = 128
+    weights: CompressedLayout, v: np.ndarray, row_block: int = 128
 ) -> np.ndarray:
     """Row-blocked SpMM that bounds the size of the gathered V slices.
 

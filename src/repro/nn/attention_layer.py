@@ -11,10 +11,13 @@ flavours:
   (LSH buckets), Routing (k-means clusters) and Sinkhorn (block matching)
   fall in this class.  The mask itself is treated as a constant of the graph,
   exactly as the paper's kernel does (the N:M selection is not differentiated
-  through).  DFSS additionally dispatches the whole trainable computation —
-  forward and backward — through the compressed sparse op of
-  :mod:`repro.nn.sparse_attention` by default; its dense masked-softmax
-  formulation remains available as the ``path="dense"`` escape hatch.
+  through).  Every mask-based core dispatches the whole trainable
+  computation — forward and backward — through a compressed sparse op of
+  :mod:`repro.nn.sparse_attention` by default: DFSS through the N:M layout
+  (:func:`dfss_sparse_attention`), every other mask through the padded-CSR
+  layout (:func:`masked_sparse_attention`).  The dense masked-softmax
+  formulation remains available on all of them as the ``path="dense"``
+  parity oracle.
 * *kernel / low-rank* — the attention output is computed through a different
   differentiable computation graph: Linformer, Linear Transformer, Performer,
   Nyströmformer and the DFSS + Nyströmformer combination.
@@ -22,7 +25,7 @@ flavours:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -35,13 +38,15 @@ from repro.baselines.sinkhorn import SinkhornAttention
 from repro.core.backend import get_kernel
 from repro.core.blocked_ell import BlockedEllMask, bigbird_mask
 from repro.core.lottery import topk_mask
+from repro.core.padded_csr import PaddedCSRMatrix
 from repro.core.patterns import resolve_pattern
 from repro.core.pruning import global_column_indices
+from repro.core.sddmm import MASKED_SCORE
 from repro.nn import functional as F
 from repro.nn.autograd import Tensor
 from repro.nn.layers import Dropout, Linear, Module
-from repro.nn.sparse_attention import dfss_sparse_attention
-from repro.registry import make_core, register_mechanism
+from repro.nn.sparse_attention import dfss_sparse_attention, masked_sparse_attention
+from repro.registry import _check_path, make_core, register_mechanism
 from repro.utils.seeding import attention_dropout_keep, draw_dropout_seed, new_rng
 
 
@@ -86,21 +91,142 @@ class FullCore(AttentionCore):
         return weights @ v
 
 
+def _nm_selection_mask(
+    indices: np.ndarray, pattern, dense_cols: int
+) -> np.ndarray:
+    """Dense boolean mask of an N:M selection from its compressed metadata."""
+    cols = global_column_indices(indices, pattern, dense_cols)
+    mask = np.zeros(indices.shape[:-1] + (dense_cols,), dtype=bool)
+    np.put_along_axis(mask, cols, True, axis=-1)
+    return mask
+
+
+def _positional_prob_dropout(drop, weights: Tensor) -> Tensor:
+    """Seeded attention dropout on dense weights, layout-independently derived.
+
+    Hashes the dense position of every weight with a per-call seed instead of
+    consuming a layout-shaped stream from the generator, so a compressed-path
+    run can reproduce the identical keep mask on its compressed
+    representation (see :func:`repro.utils.seeding.attention_dropout_keep`).
+    """
+    if drop is None or not drop.training or drop.p <= 0.0:
+        return weights
+    seed = draw_dropout_seed(drop.rng)
+    positions = np.arange(weights.data.size, dtype=np.uint64).reshape(weights.shape)
+    return weights * Tensor(attention_dropout_keep(seed, drop.p, positions))
+
+
 class MaskedScoreCore(AttentionCore):
-    """Shared implementation for all mask-based mechanisms."""
+    """Shared implementation for all mask-based mechanisms.
+
+    By default (``path="sparse"``) the trainable computation runs through the
+    compressed padded-CSR autograd op
+    (:func:`repro.nn.sparse_attention.masked_sparse_attention`): the boolean
+    mask is derived outside the graph (from the detached scores when the
+    mechanism needs them, from the sequence structure otherwise), compressed
+    into a :class:`~repro.core.padded_csr.PaddedCSRMatrix`, and forward +
+    backward run on the compressed representation.  ``path="dense"`` is the
+    escape hatch used for parity testing: the score matrix is materialised
+    densely and autograd differentiates a masked softmax.  Both paths treat
+    the mask as a constant of the graph.
+
+    Attention dropout is derived layout-independently on both paths: one
+    seed per forward call, hashed with the *dense* position of every
+    attention weight (:func:`repro.utils.seeding.attention_dropout_keep`),
+    so seeded ``path="sparse"`` and ``path="dense"`` runs drop the same
+    (row, column) entries and stay comparable under ``dropout > 0``.
+    """
 
     handles_prob_dropout = True
 
-    def _mask(self, scores: np.ndarray, q: np.ndarray, k: np.ndarray) -> np.ndarray:
+    PATHS = ("sparse", "dense")
+
+    #: whether :meth:`_mask` reads the score matrix (Top-K, DFSS) or only the
+    #: sequence structure / detached Q and K (static and clustering masks) —
+    #: the sparse path skips the detached score GEMM when it can.
+    mask_needs_scores = True
+
+    def __init__(self, backend: Optional[str] = None, path: str = "sparse"):
+        _check_path(path)
+        self.backend = backend
+        self.path = path
+
+    def _mask(self, scores: Optional[np.ndarray], q: np.ndarray, k: np.ndarray) -> np.ndarray:
+        """Boolean mask over the dense score matrix.
+
+        ``scores`` is ``None`` on the sparse path when
+        ``mask_needs_scores`` is ``False``.
+        """
         raise NotImplementedError
 
-    def __call__(self, q: Tensor, k: Tensor, v: Tensor) -> Tensor:
+    def _detached_scores(self, q: np.ndarray, k: np.ndarray) -> np.ndarray:
+        scale = np.float32(1.0 / np.sqrt(q.shape[-1]))
+        return np.matmul(q, np.swapaxes(k, -1, -2)) * scale
+
+    def _sparse_structure(self, q: np.ndarray, k: np.ndarray) -> PaddedCSRMatrix:
+        """Compress this call's mask into a padded-CSR structure (no scores)."""
+        return PaddedCSRMatrix.from_mask(self._mask(None, q, k))
+
+    def _sparse_inputs(
+        self, q: np.ndarray, k: np.ndarray
+    ) -> Tuple[PaddedCSRMatrix, Optional[PaddedCSRMatrix]]:
+        """``(structure, prescored)`` for the compressed op.
+
+        Score-dependent masks (Top-K) already paid the O(n²d) score GEMM to
+        choose their columns, so the detached scores are compressed straight
+        into the structure (padding lanes stamped with the masked-score
+        sentinel) and the op skips its SDDMM; ``prescored`` is ``None`` for
+        masks derived from the sequence structure or detached Q/K alone.
+        """
+        if not self.mask_needs_scores:
+            return self._sparse_structure(q, k), None
+        scores = self._detached_scores(q, k)
+        mask = self._mask(scores, q, k)
+        prescored = PaddedCSRMatrix.from_dense(
+            scores, mask, pad_value=float(MASKED_SCORE)
+        )
+        return prescored, prescored
+
+    def _dense_forward(self, q: Tensor, k: Tensor, v: Tensor) -> Tensor:
         d = q.shape[-1]
         scores = (q @ k.swapaxes(-1, -2)) * (1.0 / np.sqrt(d))
         mask = self._mask(scores.data, q.data, k.data)
         self._last_mask = mask
+        self._last_structure_csr = None
         weights = self._apply_prob_dropout(F.masked_softmax(scores, mask, axis=-1))
         return weights @ v
+
+    def __call__(self, q: Tensor, k: Tensor, v: Tensor) -> Tensor:
+        if self.path == "dense":
+            return self._dense_forward(q, k, v)
+        structure, prescored = self._sparse_inputs(q.data, k.data)
+        # keep only the compressed structure for mask introspection —
+        # retaining the dense boolean mask would pin O(n²) memory per head
+        # between training steps; last_mask() re-derives it on demand
+        self._last_structure_csr = structure
+        self._last_mask = None
+        drop = self.attn_dropout
+        out, _ = masked_sparse_attention(
+            q,
+            k,
+            v,
+            structure,
+            scores=prescored,
+            backend=self.backend,
+            dropout_p=drop.p if drop is not None else 0.0,
+            dropout_rng=drop.rng if drop is not None else None,
+            training=bool(drop.training) if drop is not None else False,
+        )
+        return out
+
+    def last_mask(self) -> Optional[np.ndarray]:
+        structure = getattr(self, "_last_structure_csr", None)
+        if structure is not None:
+            return structure.to_mask()
+        return super().last_mask()
+
+    def _apply_prob_dropout(self, weights: Tensor) -> Tensor:
+        return _positional_prob_dropout(self.attn_dropout, weights)
 
 
 @register_mechanism("dfss", role="core")
@@ -130,8 +256,6 @@ class DfssCore(MaskedScoreCore):
 
     name = "dfss"
 
-    PATHS = ("sparse", "dense")
-
     def __init__(
         self,
         pattern="2:4",
@@ -139,11 +263,8 @@ class DfssCore(MaskedScoreCore):
         path: str = "sparse",
         block_mask: Optional[BlockedEllMask] = None,
     ):
+        super().__init__(backend=backend, path=path)
         self.pattern = resolve_pattern(pattern)
-        self.backend = backend
-        if path not in self.PATHS:
-            raise ValueError(f"unknown path {path!r}; expected one of {self.PATHS}")
-        self.path = path
         self.block_mask = block_mask
         self._last_structure = None
 
@@ -159,22 +280,10 @@ class DfssCore(MaskedScoreCore):
             return get_kernel("nm_prune_mask", self.backend)(scores, self.pattern) & allowed
         return get_kernel("nm_prune_mask", self.backend)(scores, self.pattern)
 
-    def _apply_prob_dropout(self, weights: Tensor) -> Tensor:
-        # layout-independent derivation (dense side): hash the dense position
-        # of every weight with a per-call seed instead of consuming a
-        # layout-shaped stream from the generator, so the sparse path can
-        # reproduce the identical mask on its compressed representation
-        drop = self.attn_dropout
-        if drop is None or not drop.training or drop.p <= 0.0:
-            return weights
-        seed = draw_dropout_seed(drop.rng)
-        positions = np.arange(weights.data.size, dtype=np.uint64).reshape(weights.shape)
-        return weights * Tensor(attention_dropout_keep(seed, drop.p, positions))
-
     def __call__(self, q: Tensor, k: Tensor, v: Tensor) -> Tensor:
         if self.path == "dense":
             self._last_structure = None
-            return super().__call__(q, k, v)
+            return self._dense_forward(q, k, v)
         drop = self.attn_dropout
         out, probs = dfss_sparse_attention(
             q,
@@ -196,10 +305,7 @@ class DfssCore(MaskedScoreCore):
 
     def last_mask(self) -> Optional[np.ndarray]:
         if self._last_structure is not None:
-            indices, pattern, dense_cols = self._last_structure
-            cols = global_column_indices(indices, pattern, dense_cols)
-            mask = np.zeros(indices.shape[:-1] + (dense_cols,), dtype=bool)
-            np.put_along_axis(mask, cols, True, axis=-1)
+            mask = _nm_selection_mask(*self._last_structure)
             if self.block_mask is not None:
                 # sentinel entries of fully-masked groups carry zero weight
                 # but are present in the compressed structure; drop them
@@ -212,7 +318,9 @@ class DfssCore(MaskedScoreCore):
 class TopKCore(MaskedScoreCore):
     name = "topk"
 
-    def __init__(self, density: float = 0.05, k: Optional[int] = None):
+    def __init__(self, density: float = 0.05, k: Optional[int] = None,
+                 backend: Optional[str] = None, path: str = "sparse"):
+        super().__init__(backend=backend, path=path)
         self.density = density
         self.k = k
 
@@ -223,25 +331,51 @@ class TopKCore(MaskedScoreCore):
 
 
 class StaticMaskCore(MaskedScoreCore):
-    """Mechanisms whose mask only depends on the sequence length."""
+    """Mechanisms whose mask only depends on the sequence length.
 
-    def __init__(self, mask_fn: Callable[[int, int], np.ndarray], name: str):
+    Both the boolean mask and its padded-CSR compression are cached per
+    ``(n_q, n_k)``: the sparse path compresses the 2-D mask once and
+    broadcasts the structure over the batch/head dimensions on every call.
+    """
+
+    mask_needs_scores = False
+
+    def __init__(self, mask_fn: Callable[[int, int], np.ndarray], name: str,
+                 backend: Optional[str] = None, path: str = "sparse"):
+        super().__init__(backend=backend, path=path)
         self._mask_fn = mask_fn
         self.name = name
-        self._cache: Dict[int, np.ndarray] = {}
+        self._cache: Dict[Tuple[int, int], np.ndarray] = {}
+        self._csr_cache: Dict[Tuple[Tuple[int, ...], int, int], PaddedCSRMatrix] = {}
 
-    def _mask(self, scores, q, k):
-        n_q, n_k = scores.shape[-2], scores.shape[-1]
+    def _mask_2d(self, n_q: int, n_k: int) -> np.ndarray:
         key = (n_q, n_k)
         if key not in self._cache:
             self._cache[key] = self._mask_fn(n_q, n_k)
-        return np.broadcast_to(self._cache[key], scores.shape)
+        return self._cache[key]
+
+    def _mask(self, scores, q, k):
+        n_q, n_k = q.shape[-2], k.shape[-2]
+        return np.broadcast_to(self._mask_2d(n_q, n_k), q.shape[:-2] + (n_q, n_k))
+
+    def _sparse_structure(self, q, k):
+        # cache the batch-broadcast structure (not just the 2-D one) so its
+        # flat gather/scatter index caches persist across training steps
+        key = (q.shape[:-2], q.shape[-2], k.shape[-2])
+        if key not in self._csr_cache:
+            structure = PaddedCSRMatrix.from_mask(self._mask_2d(*key[1:]))
+            self._csr_cache[key] = structure.broadcast_to(q.shape[:-2])
+        return self._csr_cache[key]
 
 
 class ClusteringMaskCore(MaskedScoreCore):
     """Reformer / Routing / Sinkhorn masks derived from the (detached) Q and K."""
 
-    def __init__(self, mechanism, name: str):
+    mask_needs_scores = False
+
+    def __init__(self, mechanism, name: str,
+                 backend: Optional[str] = None, path: str = "sparse"):
+        super().__init__(backend=backend, path=path)
         self.mechanism = mechanism
         self.name = name
 
@@ -431,64 +565,203 @@ class SynthesizerCore(AttentionCore):
 @register_mechanism("local", role="core")
 def _local_core(cfg, seq_len_hint: int) -> AttentionCore:
     return StaticMaskCore(
-        lambda nq, nk: local_window_mask(nq, nk, cfg.window), "local"
+        lambda nq, nk: local_window_mask(nq, nk, cfg.window), "local",
+        backend=cfg.backend, path=cfg.path,
     )
 
 
 @register_mechanism("sparse_transformer", role="core")
 def _strided_core(cfg, seq_len_hint: int) -> AttentionCore:
     return StaticMaskCore(
-        lambda nq, nk: strided_mask(nq, nk, cfg.window, cfg.stride), "sparse_transformer"
+        lambda nq, nk: strided_mask(nq, nk, cfg.window, cfg.stride),
+        "sparse_transformer", backend=cfg.backend, path=cfg.path,
     )
 
 
 @register_mechanism("fixed_truncated", role="core")
 def _truncated_core(cfg, seq_len_hint: int) -> AttentionCore:
     return StaticMaskCore(
-        lambda nq, nk: truncated_mask(nq, nk, cfg.density), "fixed_truncated"
+        lambda nq, nk: truncated_mask(nq, nk, cfg.density), "fixed_truncated",
+        backend=cfg.backend, path=cfg.path,
     )
 
 
 @register_mechanism("longformer", role="core")
 def _longformer_core(cfg, seq_len_hint: int) -> AttentionCore:
     return StaticMaskCore(
-        lambda nq, nk: longformer_mask(nq, nk, cfg.window, cfg.num_global), "longformer"
+        lambda nq, nk: longformer_mask(nq, nk, cfg.window, cfg.num_global),
+        "longformer", backend=cfg.backend, path=cfg.path,
+    )
+
+
+def _fitted_bigbird_mask(nq: int, cfg) -> BlockedEllMask:
+    """BigBird blocked-ELL mask with the block size halved until it divides ``nq``."""
+    bs = cfg.block_size
+    while nq % bs != 0 and bs > 1:
+        bs //= 2
+    return bigbird_mask(
+        nq,
+        bs,
+        window_blocks=cfg.window_blocks,
+        num_global_blocks=cfg.num_global_blocks,
+        num_random_blocks=cfg.num_random_blocks,
+        seed=cfg.seed,
     )
 
 
 @register_mechanism("bigbird", role="core")
 def _bigbird_core(cfg, seq_len_hint: int) -> AttentionCore:
-    def _bb(nq, nk):
-        bs = cfg.block_size
-        while nq % bs != 0 and bs > 1:
-            bs //= 2
-        return bigbird_mask(
-            nq,
-            bs,
-            window_blocks=cfg.window_blocks,
-            num_global_blocks=cfg.num_global_blocks,
-            num_random_blocks=cfg.num_random_blocks,
-            seed=cfg.seed,
-        ).dense_mask(nq, nk)
-
-    return StaticMaskCore(_bb, "bigbird")
+    return StaticMaskCore(
+        lambda nq, nk: _fitted_bigbird_mask(nq, cfg).dense_mask(nq, nk), "bigbird",
+        backend=cfg.backend, path=cfg.path,
+    )
 
 
 @register_mechanism("reformer", role="core")
 def _reformer_core(cfg, seq_len_hint: int) -> AttentionCore:
-    return ClusteringMaskCore(ReformerAttention(**cfg.mechanism_kwargs()), "reformer")
+    mech = ReformerAttention(n_buckets=cfg.n_buckets, n_hashes=cfg.n_hashes,
+                             seed=cfg.seed)
+    return ClusteringMaskCore(mech, "reformer", backend=cfg.backend, path=cfg.path)
 
 
 @register_mechanism("routing", role="core")
 def _routing_core(cfg, seq_len_hint: int) -> AttentionCore:
-    return ClusteringMaskCore(
-        RoutingTransformerAttention(**cfg.mechanism_kwargs()), "routing"
+    mech = RoutingTransformerAttention(
+        n_clusters=cfg.n_clusters, kmeans_iters=cfg.kmeans_iters, seed=cfg.seed
     )
+    return ClusteringMaskCore(mech, "routing", backend=cfg.backend, path=cfg.path)
 
 
 @register_mechanism("sinkhorn", role="core")
 def _sinkhorn_core(cfg, seq_len_hint: int) -> AttentionCore:
-    return ClusteringMaskCore(SinkhornAttention(**cfg.mechanism_kwargs()), "sinkhorn")
+    mech = SinkhornAttention(
+        block_size=cfg.block_size, sinkhorn_iters=cfg.sinkhorn_iters
+    )
+    return ClusteringMaskCore(mech, "sinkhorn", backend=cfg.backend, path=cfg.path)
+
+
+# ------------------------------------------------- Appendix A.7 combo cores
+class BigBirdDfssCore(DfssCore):
+    """BigBird block sparsity with dynamic N:M pruning inside the blocks.
+
+    The trainable counterpart of
+    :class:`repro.baselines.combos.DfssBigBirdAttention`: the BigBird
+    window/global/random pattern becomes a blocked-ELL coarse mask fed to the
+    compressed DFSS op (the mask excludes score blocks *before* the N:M
+    selection, exactly like the fused epilogue), so forward and backward run
+    on the compressed N:M representation.  The blocked-ELL mask is built
+    lazily per observed sequence length — the block size is halved until it
+    divides the sequence — and cached.
+    """
+
+    name = "bigbird_dfss"
+
+    def __init__(self, cfg, pattern="2:4", backend: Optional[str] = None,
+                 path: str = "sparse"):
+        super().__init__(pattern, backend=backend, path=path)
+        self._cfg = cfg
+        self._block_masks: Dict[int, BlockedEllMask] = {}
+
+    def __call__(self, q: Tensor, k: Tensor, v: Tensor) -> Tensor:
+        nq = q.shape[-2]
+        if nq not in self._block_masks:
+            self._block_masks[nq] = _fitted_bigbird_mask(nq, self._cfg)
+        self.block_mask = self._block_masks[nq]
+        return super().__call__(q, k, v)
+
+
+@register_mechanism("bigbird_dfss", role="core")
+def _bigbird_dfss_core(cfg, seq_len_hint: int) -> AttentionCore:
+    return BigBirdDfssCore(cfg, pattern=cfg.pattern or "2:4",
+                           backend=cfg.backend, path=cfg.path)
+
+
+class LinformerDfssCore(AttentionCore):
+    """Linformer projection with the projected scores pruned to N:M on the fly.
+
+    The trainable counterpart of
+    :class:`repro.baselines.combos.DfssLinformerAttention`: keys and values
+    are projected with the fixed random map ``E`` (a constant of the graph,
+    shared with :class:`LinformerCore`'s seeding), then the whole attention
+    over the projected length runs through the compressed N:M op —
+    ``sddmm_nm(Q, (EK)) → sparse softmax → SpMM`` with analytic gradients on
+    the compressed representation.  ``path="dense"`` differentiates the
+    equivalent dense masked softmax for parity testing.
+
+    The projected length is rounded down to a multiple of the N:M group size
+    so the pattern applies cleanly.
+    """
+
+    name = "linformer_dfss"
+
+    handles_prob_dropout = True
+
+    PATHS = ("sparse", "dense")
+
+    def __init__(self, proj_dim: int = 64, pattern="2:4", seed=0,
+                 backend: Optional[str] = None, path: str = "sparse"):
+        _check_path(path)
+        self.proj_dim = proj_dim
+        self.pattern = resolve_pattern(pattern)
+        self.seed = seed
+        self.backend = backend
+        self.path = path
+        self._proj: Dict[int, np.ndarray] = {}
+        self._last_structure = None
+
+    def _projection(self, n: int) -> np.ndarray:
+        if n not in self._proj:
+            rng = new_rng(self.seed)
+            kdim = min(self.proj_dim, n)
+            # round the projected length down to a whole number of M-groups
+            kdim = max(self.pattern.m, kdim - kdim % self.pattern.m)
+            self._proj[n] = rng.normal(
+                0.0, 1.0 / np.sqrt(kdim), size=(kdim, n)
+            ).astype(np.float32)
+        return self._proj[n]
+
+    def __call__(self, q: Tensor, k: Tensor, v: Tensor) -> Tensor:
+        e = Tensor(self._projection(k.shape[-2]))
+        k_proj = e @ k
+        v_proj = e @ v
+        drop = self.attn_dropout
+        if self.path == "dense":
+            scale = 1.0 / np.sqrt(q.shape[-1])
+            scores = (q @ k_proj.swapaxes(-1, -2)) * scale
+            mask = get_kernel("nm_prune_mask", self.backend)(scores.data, self.pattern)
+            self._last_mask = mask
+            self._last_structure = None
+            weights = _positional_prob_dropout(
+                drop, F.masked_softmax(scores, mask, axis=-1)
+            )
+            return weights @ v_proj
+        out, probs = dfss_sparse_attention(
+            q,
+            k_proj,
+            v_proj,
+            pattern=self.pattern,
+            backend=self.backend,
+            dropout_p=drop.p if drop is not None else 0.0,
+            dropout_rng=drop.rng if drop is not None else None,
+            training=bool(drop.training) if drop is not None else False,
+        )
+        # store only the int8 metadata; last_mask() re-derives the dense mask
+        self._last_structure = (probs.indices, probs.pattern, probs.dense_cols)
+        self._last_mask = None
+        return out
+
+    def last_mask(self) -> Optional[np.ndarray]:
+        if self._last_structure is not None:
+            return _nm_selection_mask(*self._last_structure)
+        return super().last_mask()
+
+
+@register_mechanism("linformer_dfss", role="core")
+def _linformer_dfss_core(cfg, seq_len_hint: int) -> AttentionCore:
+    return LinformerDfssCore(
+        proj_dim=cfg.proj_dim, pattern=cfg.pattern or "2:4", seed=cfg.seed,
+        backend=cfg.backend, path=cfg.path,
+    )
 
 
 # ----------------------------------------------------------------- factory

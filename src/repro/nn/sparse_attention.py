@@ -1,30 +1,40 @@
-"""Trainable DFSS attention as a single compressed-pipeline autograd op.
+"""Trainable compressed sparse attention as single-node autograd ops.
 
-:func:`dfss_sparse_attention` runs the paper's N:M attention through the
-kernel registry in *both* directions: the forward pass is the fused SDDMM +
-prune epilogue followed by the sparse softmax and SpMM over the compressed
-nonzeros, and the backward pass is the analytic gradient of
-:mod:`repro.core.attention_grad`, computed entirely on the compressed
-representation (``dV = Pᵀ dO``, masked SDDMM for ``dP``, the row-wise softmax
-Jacobian on compressed rows, then ``dQ``/``dK`` via SpMM and its transpose).
+Two entry points share one compressed pipeline (SDDMM into a compressed
+structure → sparse softmax → SpMM forward; the analytic backward of
+:mod:`repro.core.attention_grad` on the compressed representation — ``dV =
+Pᵀ dO``, masked SDDMM for ``dP``, the row-wise softmax Jacobian on compressed
+rows, then ``dQ``/``dK`` via SpMM and its transpose):
 
-The N:M selection is treated as a constant of the graph, exactly as the CUDA
-kernels do — the pruning decision is not differentiated through.  The dense
-score matrix is never materialised by autograd; the graph holds a single node
-whose saved state is the compressed probability matrix.
+* :func:`dfss_sparse_attention` — the N:M specialisation: the structure is
+  chosen *dynamically* by the fused SDDMM + prune epilogue
+  (:class:`~repro.core.sparse.NMSparseMatrix`), exactly the paper's kernel;
+* :func:`masked_sparse_attention` — the layout-generic op every mask-based
+  mechanism (TopK, local/strided, Longformer, BigBird, Reformer, Routing,
+  Sinkhorn, …) trains through: an arbitrary boolean mask is compressed into
+  a :class:`~repro.core.padded_csr.PaddedCSRMatrix` and the same kernels run
+  on the per-row variable-nnz layout.
+
+In both cases the sparsity selection is treated as a constant of the graph,
+exactly as the CUDA kernels do — the pruning/masking decision is not
+differentiated through.  The dense score matrix is never materialised by
+autograd; the graph holds a single node whose saved state is the compressed
+probability matrix.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional, Tuple, Union
 
 import numpy as np
 
-from repro.core.attention_grad import dfss_attention_bwd
+from repro.core.attention_grad import masked_attention_bwd
 from repro.core.backend import REFERENCE, resolve_backend
 from repro.core.blocked_ell import BlockedEllMask
+from repro.core.layout import CompressedLayout, dense_positions
+from repro.core.padded_csr import PaddedCSRMatrix
 from repro.core.patterns import resolve_pattern
-from repro.core.sddmm import sddmm_nm
+from repro.core.sddmm import sddmm_csr, sddmm_nm
 from repro.core.softmax import sparse_softmax
 from repro.core.sparse import NMSparseMatrix
 from repro.core.spmm import spmm
@@ -32,13 +42,61 @@ from repro.nn.autograd import Tensor
 from repro.utils.seeding import attention_dropout_keep, draw_dropout_seed
 
 
-def _dense_positions(probs: NMSparseMatrix) -> np.ndarray:
-    """Linear index into the dense weight tensor of every stored nonzero."""
-    cols = probs.column_indices().astype(np.uint64)
-    lead = np.arange(
-        int(np.prod(cols.shape[:-1], dtype=np.int64)), dtype=np.uint64
-    ).reshape(cols.shape[:-1] + (1,))
-    return lead * np.uint64(probs.dense_cols) + cols
+def _compressed_attention_node(
+    q: Tensor,
+    k: Tensor,
+    v: Tensor,
+    probs: CompressedLayout,
+    scale: float,
+    backend: Optional[str],
+    dropout_p: float,
+    dropout_rng: Optional[np.random.Generator],
+    training: bool,
+    name: str,
+) -> Tensor:
+    """Finish the pipeline from compressed probabilities: dropout, SpMM, backward.
+
+    This is the layout-independent half shared by the N:M and padded-CSR
+    ops; ``probs`` is the compressed (pre-dropout) probability matrix.
+    """
+    if resolve_backend(backend) != REFERENCE:
+        # one metadata walk per step: the forward SpMM and the backward
+        # kernels share the scattered tile (the reference loops never use it)
+        probs.to_scattered(cache=True)
+
+    drop_keep: Optional[np.ndarray] = None
+    if training and dropout_p > 0.0:
+        if dropout_p >= 1.0:
+            raise ValueError("dropout probability must be < 1")
+        if dropout_rng is None:
+            # dropout in this repo is deterministic under a seed (see
+            # nn.layers.Dropout); an implicit unseeded generator would
+            # silently break experiment reproducibility
+            raise ValueError("dropout_p > 0 requires an explicit dropout_rng")
+        drop_keep = attention_dropout_keep(
+            draw_dropout_seed(dropout_rng), dropout_p, dense_positions(probs)
+        )
+        applied = probs.with_values(probs.values * drop_keep)
+    else:
+        applied = probs
+    out_data = spmm(applied, v.data, backend=backend)
+
+    def backward(out):
+        def fn():
+            d_q, d_k, d_v = masked_attention_bwd(
+                probs, q.data, k.data, v.data, out.grad, scale,
+                drop_keep=drop_keep, out=out.data, backend=backend,
+            )
+            if q.requires_grad:
+                q._accumulate(d_q)
+            if k.requires_grad:
+                k._accumulate(d_k)
+            if v.requires_grad:
+                v._accumulate(d_v)
+
+        return fn
+
+    return q._make(out_data, (q, k, v), backward, name)
 
 
 def dfss_sparse_attention(
@@ -53,7 +111,7 @@ def dfss_sparse_attention(
     dropout_rng: Optional[np.random.Generator] = None,
     training: bool = False,
 ) -> Tuple[Tensor, NMSparseMatrix]:
-    """Differentiable DFSS attention on the compressed pipeline.
+    """Differentiable DFSS attention on the compressed N:M pipeline.
 
     Parameters
     ----------
@@ -101,42 +159,96 @@ def dfss_sparse_attention(
         backend=backend,
     )
     probs = sparse_softmax(scores, backend=backend)
-    if resolve_backend(backend) != REFERENCE:
-        # one metadata walk per step: the forward SpMM and the backward
-        # kernels share the scattered tile (the reference loops never use it)
-        probs.to_scattered(cache=True)
+    out = _compressed_attention_node(
+        q, k, v, probs, scale, backend,
+        dropout_p, dropout_rng, training, "dfss_attention",
+    )
+    return out, probs
 
-    drop_keep: Optional[np.ndarray] = None
-    if training and dropout_p > 0.0:
-        if dropout_p >= 1.0:
-            raise ValueError("dropout probability must be < 1")
-        if dropout_rng is None:
-            # dropout in this repo is deterministic under a seed (see
-            # nn.layers.Dropout); an implicit unseeded generator would
-            # silently break experiment reproducibility
-            raise ValueError("dropout_p > 0 requires an explicit dropout_rng")
-        drop_keep = attention_dropout_keep(
-            draw_dropout_seed(dropout_rng), dropout_p, _dense_positions(probs)
-        )
-        applied = probs.with_values(probs.values * drop_keep)
+
+def masked_sparse_attention(
+    q: Tensor,
+    k: Tensor,
+    v: Tensor,
+    mask: Union[np.ndarray, PaddedCSRMatrix],
+    scale: Optional[float] = None,
+    backend: Optional[str] = None,
+    dropout_p: float = 0.0,
+    dropout_rng: Optional[np.random.Generator] = None,
+    training: bool = False,
+    scores: Optional[PaddedCSRMatrix] = None,
+) -> Tuple[Tensor, PaddedCSRMatrix]:
+    """Differentiable masked attention on the compressed padded-CSR pipeline.
+
+    The layout-generic sibling of :func:`dfss_sparse_attention`: instead of
+    the fused N:M epilogue choosing the structure, an arbitrary boolean
+    attention mask is compressed into a per-row variable-nnz
+    :class:`~repro.core.padded_csr.PaddedCSRMatrix`, and the same kernel
+    pipeline (``sddmm_csr`` → sparse softmax → SpMM, analytic backward on the
+    compressed representation) runs on that structure.  The mask is treated
+    as a constant of the graph — gradients flow through the surviving score
+    entries only, which is exactly what the dense masked-softmax formulation
+    computes, without ever materialising the dense score matrix in autograd.
+
+    Parameters
+    ----------
+    q, k, v:
+        ``(..., seq, d)`` Tensors sharing their leading batch shape.
+    mask:
+        Boolean mask over the dense score matrix — either an ndarray
+        broadcastable to ``(..., seq_q, seq_k)`` or an already-compressed
+        :class:`PaddedCSRMatrix` structure (mechanisms with static masks
+        compress once and reuse).  Fully masked rows receive exactly zero
+        attention everywhere, matching ``F.masked_softmax``.
+    scale:
+        Score scale; defaults to ``1/sqrt(d)``.
+    backend:
+        Kernel backend for every dispatched stage ("reference" or "fast").
+    dropout_p, dropout_rng, training:
+        Seeded inverted dropout on the compressed probabilities, derived
+        layout-independently from dense positions exactly as in
+        :func:`dfss_sparse_attention` — a seeded run through this op and one
+        through the dense masked path drop the same (row, column) entries.
+    scores:
+        Optional precomputed *scaled* compressed scores sharing ``mask``'s
+        structure (padding lanes carrying the masked-score sentinel).
+        Mechanisms that already computed the dense score matrix to choose
+        their mask (Top-K) pass it here so the op skips its SDDMM instead of
+        paying the score GEMM a second time.
+
+    Returns
+    -------
+    ``(out, probs)`` where ``out`` is the ``(..., seq, d)`` output Tensor and
+    ``probs`` the compressed (pre-dropout) probability matrix.
+    """
+    d = q.shape[-1]
+    if scale is None:
+        scale = 1.0 / np.sqrt(d)
+    scale = float(scale)
+    batch_shape = q.shape[:-2]
+
+    if isinstance(mask, PaddedCSRMatrix):
+        structure = mask.broadcast_to(batch_shape)
     else:
-        applied = probs
-    out_data = spmm(applied, v.data, backend=backend)
+        mask = np.asarray(mask, dtype=bool)
+        seq = (q.shape[-2], k.shape[-2])
+        if mask.shape[-2:] != seq:
+            mask = np.broadcast_to(mask, mask.shape[:-2] + seq)
+        # compress the mask as given and broadcast the *structure* over the
+        # remaining batch dims — compressing an already-broadcast mask would
+        # re-run the argsort on every identical leading slice
+        structure = PaddedCSRMatrix.from_mask(mask).broadcast_to(batch_shape)
 
-    def backward(out):
-        def fn():
-            d_q, d_k, d_v = dfss_attention_bwd(
-                probs, q.data, k.data, v.data, out.grad, scale,
-                drop_keep=drop_keep, out=out.data, backend=backend,
-            )
-            if q.requires_grad:
-                q._accumulate(d_q)
-            if k.requires_grad:
-                k._accumulate(d_k)
-            if v.requires_grad:
-                v._accumulate(d_v)
-
-        return fn
-
-    out = q._make(out_data, (q, k, v), backward, "dfss_attention")
+    if scores is None:
+        scores = sddmm_csr(q.data, k.data, structure, scale=scale, backend=backend)
+    elif scores.values.shape != structure.values.shape:
+        raise ValueError(
+            f"precomputed scores shape {scores.values.shape} does not share "
+            f"the mask structure {structure.values.shape}"
+        )
+    probs = sparse_softmax(scores, backend=backend)
+    out = _compressed_attention_node(
+        q, k, v, probs, scale, backend,
+        dropout_p, dropout_rng, training, "masked_attention",
+    )
     return out, probs

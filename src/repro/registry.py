@@ -130,6 +130,33 @@ def _check_density(value, name: str = "density") -> None:
         raise ValueError(f"{name} must lie in (0, 1], got {value!r}")
 
 
+def _check_path(value) -> None:
+    if value not in ("sparse", "dense"):
+        raise ValueError(
+            f"unknown path {value!r}; expected one of ('sparse', 'dense')"
+        )
+
+
+@dataclass(frozen=True)
+class MaskedCoreConfig(MechanismConfig):
+    """Shared core-side knobs of every mask-based mechanism.
+
+    All mask-based trainable cores run through the compressed padded-CSR
+    autograd op by default (``path="sparse"``); ``path="dense"`` keeps the
+    dense masked-softmax autograd formulation as the parity oracle, and
+    ``backend`` selects the kernel backend for every dispatched stage.  Both
+    fields are core-only — the forward-only numpy mechanisms reject them.
+    """
+
+    backend: Optional[str] = None
+    path: str = "sparse"
+
+    _CORE_ONLY = ("backend", "path")
+
+    def __post_init__(self) -> None:
+        _check_path(self.path)
+
+
 # --------------------------------------------------------- per-mechanism configs
 @dataclass(frozen=True)
 class FullConfig(MechanismConfig):
@@ -141,7 +168,7 @@ class FullConfig(MechanismConfig):
 
 
 @dataclass(frozen=True)
-class DfssConfig(MechanismConfig):
+class DfssConfig(MaskedCoreConfig):
     """Dynamic N:M structured sparse attention (the paper's mechanism).
 
     ``pattern=None`` defers to the hardware default: the numpy mechanism
@@ -153,19 +180,13 @@ class DfssConfig(MechanismConfig):
     pattern: object = None
     dtype: str = "float32"
     block_mask: Optional[BlockedEllMask] = None
-    backend: Optional[str] = None
-    path: str = "sparse"
 
     _MECHANISM_ONLY = ("dtype",)
-    _CORE_ONLY = ("backend", "path")
 
     def __post_init__(self) -> None:
+        super().__post_init__()
         if self.pattern is not None:
             resolve_pattern(self.pattern)  # raises ValueError on unknown patterns
-        if self.path not in ("sparse", "dense"):
-            raise ValueError(
-                f"unknown path {self.path!r}; expected one of ('sparse', 'dense')"
-            )
 
     def core_kwargs(self, seq_len_hint: int) -> Dict[str, object]:
         kwargs = super().core_kwargs(seq_len_hint)
@@ -175,13 +196,14 @@ class DfssConfig(MechanismConfig):
 
 
 @dataclass(frozen=True)
-class TopKConfig(MechanismConfig):
+class TopKConfig(MaskedCoreConfig):
     """Per-row explicit Top-K selection (oracle upper bound for DFSS)."""
 
     density: float = 0.05
     k: Optional[int] = None
 
     def __post_init__(self) -> None:
+        super().__post_init__()
         if self.k is None:
             _check_density(self.density)
         else:
@@ -189,39 +211,42 @@ class TopKConfig(MechanismConfig):
 
 
 @dataclass(frozen=True)
-class LocalConfig(MechanismConfig):
+class LocalConfig(MaskedCoreConfig):
     """Sliding-window local attention."""
 
     window: int = 32
 
     def __post_init__(self) -> None:
+        super().__post_init__()
         if self.window < 0:
             raise ValueError("window must be non-negative")
 
 
 @dataclass(frozen=True)
-class StridedConfig(MechanismConfig):
+class StridedConfig(MaskedCoreConfig):
     """Sparse-Transformer local + strided pattern."""
 
     window: int = 16
     stride: int = 64
 
     def __post_init__(self) -> None:
+        super().__post_init__()
         _check_positive(self.stride, "stride")
 
 
 @dataclass(frozen=True)
-class TruncatedConfig(MechanismConfig):
+class TruncatedConfig(MaskedCoreConfig):
     """Keep a fixed leading fraction of key columns (Appendix A.4)."""
 
     density: float = 0.5
 
     def __post_init__(self) -> None:
+        super().__post_init__()
         _check_density(self.density)
 
 
 @dataclass(frozen=True)
-class LongformerConfig(MechanismConfig):
+class LongformerConfig(MaskedCoreConfig):
     """Sliding window plus global tokens."""
 
     window: int = 32
@@ -229,7 +254,7 @@ class LongformerConfig(MechanismConfig):
 
 
 @dataclass(frozen=True)
-class BigBirdConfig(MechanismConfig):
+class BigBirdConfig(MaskedCoreConfig):
     """Blocked window/global/random pattern."""
 
     block_size: int = 64
@@ -239,6 +264,7 @@ class BigBirdConfig(MechanismConfig):
     seed: object = 0
 
     def __post_init__(self) -> None:
+        super().__post_init__()
         _check_positive(self.block_size, "block_size")
 
 
@@ -297,7 +323,7 @@ class PerformerConfig(MechanismConfig):
 
 
 @dataclass(frozen=True)
-class ReformerConfig(MechanismConfig):
+class ReformerConfig(MaskedCoreConfig):
     """LSH bucketed attention."""
 
     n_buckets: int = 16
@@ -305,12 +331,13 @@ class ReformerConfig(MechanismConfig):
     seed: object = 0
 
     def __post_init__(self) -> None:
+        super().__post_init__()
         _check_positive(self.n_buckets, "n_buckets")
         _check_positive(self.n_hashes, "n_hashes")
 
 
 @dataclass(frozen=True)
-class RoutingConfig(MechanismConfig):
+class RoutingConfig(MaskedCoreConfig):
     """k-means routed attention."""
 
     n_clusters: Optional[int] = None
@@ -318,17 +345,19 @@ class RoutingConfig(MechanismConfig):
     seed: object = 0
 
     def __post_init__(self) -> None:
+        super().__post_init__()
         _check_positive(self.n_clusters, "n_clusters")
 
 
 @dataclass(frozen=True)
-class SinkhornConfig(MechanismConfig):
+class SinkhornConfig(MaskedCoreConfig):
     """Block-matched Sinkhorn attention."""
 
     block_size: int = 32
     sinkhorn_iters: int = 8
 
     def __post_init__(self) -> None:
+        super().__post_init__()
         _check_positive(self.block_size, "block_size")
 
 
@@ -368,7 +397,7 @@ class NystromDfssConfig(MechanismConfig):
 
 
 @dataclass(frozen=True)
-class BigBirdDfssConfig(MechanismConfig):
+class BigBirdDfssConfig(MaskedCoreConfig):
     """BigBird block mask combined with N:M pruning inside the blocks."""
 
     pattern: object = "2:4"
@@ -381,7 +410,7 @@ class BigBirdDfssConfig(MechanismConfig):
 
 
 @dataclass(frozen=True)
-class LinformerDfssConfig(MechanismConfig):
+class LinformerDfssConfig(MaskedCoreConfig):
     """Linformer projection with N:M pruning of the projected scores."""
 
     proj_dim: int = 64

@@ -113,7 +113,10 @@ class TestPerfGate:
     def test_identical_payloads_pass(self, payloads):
         gate = _load_gate()
         base, fresh = payloads
-        failures, _ = gate.check(fresh, base, min_e2e_speedup=0.0, min_train_speedup=0.0)
+        failures, _ = gate.check(
+            fresh, base, min_e2e_speedup=0.0, min_train_speedup=0.0,
+            min_matrix_speedup=0.0,
+        )
         assert failures == []
 
     def test_parity_mismatch_fails(self, payloads):
@@ -143,7 +146,10 @@ class TestPerfGate:
             row["median_s"] *= 3.0
             row["p10_s"] *= 3.0
             row["p90_s"] *= 3.0
-        failures, _ = gate.check(fresh, base, min_e2e_speedup=0.0, min_train_speedup=0.0)
+        failures, _ = gate.check(
+            fresh, base, min_e2e_speedup=0.0, min_train_speedup=0.0,
+            min_matrix_speedup=0.0,
+        )
         assert failures == []
 
     def test_missing_row_fails_coverage(self, payloads):
@@ -192,6 +198,86 @@ class TestPerfGate:
             fresh, fresh, min_e2e_speedup=0.0, min_train_speedup=2.0
         )
         assert any("train floor" in f for f in failures)
+
+    @staticmethod
+    def _matrix_rows(mechanism, sparse_speedup):
+        shape = f"B1xH2xL32xD16/{mechanism}"
+        dense = {
+            "kernel": "attention_train_matrix", "shape": shape,
+            "backend": "dense", "median_s": 0.01, "p10_s": 0.01,
+            "p90_s": 0.01, "speedup": 1.0, "parity_max_rel_err": None,
+        }
+        sparse = dict(dense, backend="sparse", speedup=sparse_speedup,
+                      parity_max_rel_err=1e-7)
+        return [dense, sparse]
+
+    def test_matrix_floor_binds_band_masks(self, payloads):
+        gate = _load_gate()
+        base, fresh = payloads
+        fresh["results"] += self._matrix_rows("local", 0.8)
+        base["results"] += self._matrix_rows("local", 0.8)
+        failures, _ = gate.check(fresh, base, min_e2e_speedup=0.0, min_train_speedup=0.0)
+        assert any("train matrix floor" in f for f in failures)
+
+    def test_matrix_floor_ignores_data_dependent_masks(self, payloads):
+        gate = _load_gate()
+        base, fresh = payloads
+        extra = self._matrix_rows("local", 1.2) + self._matrix_rows("routing", 0.7)
+        fresh["results"] += extra
+        base["results"] += copy.deepcopy(extra)
+        failures, _ = gate.check(fresh, base, min_e2e_speedup=0.0, min_train_speedup=0.0)
+        assert failures == []
+
+    def test_matrix_floor_requires_band_rows(self, payloads):
+        gate = _load_gate()
+        base, fresh = payloads  # the fixture payload has no matrix rows at all
+        failures, _ = gate.check(fresh, fresh, min_e2e_speedup=0.0, min_train_speedup=0.0)
+        assert any("train matrix floor" in f for f in failures)
+
+    def test_regime_sensitive_oracles_exempt_from_timing_diffs(self, payloads):
+        gate = _load_gate()
+        base, fresh = payloads
+        shape = "B1xH2xL32xD16/longformer-w16"
+        for speedup, payload in ((12.0, base), (5.0, fresh)):
+            ref_med = 0.002 * speedup
+            payload["results"] += [
+                {"kernel": "sddmm_csr", "shape": shape, "backend": "reference",
+                 "median_s": ref_med, "p10_s": ref_med, "p90_s": ref_med,
+                 "speedup": 1.0, "parity_max_rel_err": None},
+                {"kernel": "sddmm_csr", "shape": shape, "backend": "fast",
+                 "median_s": 0.002, "p10_s": 0.002, "p90_s": 0.002,
+                 "speedup": speedup, "parity_max_rel_err": 1e-7},
+            ]
+        # a 2.4x reference regime shift (and the speedup drop it induces on
+        # the fast row) must not fail; the fast row's own median is unchanged
+        failures, _ = gate.check(
+            fresh, base, min_e2e_speedup=0.0, min_train_speedup=0.0,
+            min_matrix_speedup=0.0,
+        )
+        assert failures == []
+        # ...but a genuine fast-row median regression still fails
+        for row in fresh["results"]:
+            if row["kernel"] == "sddmm_csr" and row["backend"] == "fast":
+                row["median_s"] *= 10.0
+        failures, _ = gate.check(
+            fresh, base, min_e2e_speedup=0.0, min_train_speedup=0.0,
+            min_matrix_speedup=0.0,
+        )
+        assert any("sddmm_csr" in f and "slowdown" in f for f in failures)
+
+    def test_new_rows_warn_and_skip_instead_of_failing(self, payloads):
+        gate = _load_gate()
+        base, fresh = payloads
+        # rows with no baseline counterpart: diff checks skipped with a
+        # warning (absolute floors still apply), never a KeyError/failure
+        fresh["results"] += self._matrix_rows("local", 1.5)
+        warnings = []
+        failures, _ = gate.check(
+            fresh, base, min_e2e_speedup=0.0, min_train_speedup=0.0,
+            warnings=warnings,
+        )
+        assert failures == []
+        assert any("no baseline entry" in w for w in warnings)
 
     def test_committed_baseline_is_valid(self):
         gate = _load_gate()

@@ -57,8 +57,17 @@ class TestCatalogue:
         assert set(ALL_NAMES) == set(MECHANISM_REGISTRY)
 
     def test_capability_filters(self):
-        assert "bigbird_dfss" not in registry.available_mechanisms(trainable=True)
-        assert "dfss" in registry.available_mechanisms(compressed=True)
+        # the Appendix-A.7 combo mechanisms gained trainable cores with the
+        # layout-generic compressed op
+        trainable = registry.available_mechanisms(trainable=True)
+        assert "bigbird_dfss" in trainable and "linformer_dfss" in trainable
+        compressed = registry.available_mechanisms(compressed=True)
+        assert "dfss" in compressed
+        # every mask-based mechanism now trains through the compressed path
+        for name in ("topk", "local", "sparse_transformer", "longformer",
+                     "bigbird", "reformer", "routing", "sinkhorn"):
+            assert name in compressed, name
+        assert "full" not in compressed
         assert set(registry.available_mechanisms(produces_mask=True)) <= set(ALL_NAMES)
         block = registry.available_mechanisms(supports_block_mask=True)
         assert "dfss" in block and "full" not in block
@@ -122,9 +131,23 @@ class TestCoreRoundTrip:
             np.testing.assert_array_equal(mask_a, mask_b)
 
     def test_untrainable_mechanism_core_raises(self):
+        spec = registry.MechanismSpec(
+            name="untrainable", label="untrainable", description="",
+            config_cls=registry.MechanismConfig,
+        )
+        with pytest.raises(ValueError, match="not trainable"):
+            spec.build_core(registry.MechanismConfig())
+
+    def test_combo_mechanism_cores_train(self):
+        # bigbird_dfss / linformer_dfss gained trainable cores (ROADMAP item)
         for name in ("bigbird_dfss", "linformer_dfss"):
-            with pytest.raises(ValueError, match="not trainable"):
-                AttentionEngine(name).core()
+            core = AttentionEngine(name, seq_len_hint=32).core()
+            q, k, v = (Tensor(a, requires_grad=True)
+                       for a in _lattice_qkv(batch=(2, 2), seed=11))
+            out = core(q, k, v)
+            out.sum().backward()
+            assert np.all(np.isfinite(out.data)), name
+            assert q.grad is not None and np.all(np.isfinite(q.grad)), name
 
     def test_pattern_suffix_and_explicit_kwarg(self):
         core = registry.make_core("dfss_2:4")
