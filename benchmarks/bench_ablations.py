@@ -8,7 +8,10 @@
 
 import numpy as np
 
-from repro.core.attention import dfss_attention, full_attention
+import repro
+# criterion= is an ablation-only knob of the raw kernel pipeline, not a
+# registry config field, so that one bench stays on the core API
+from repro.core.attention import dfss_attention
 from repro.core.blocked_ell import sliding_window_mask
 from repro.core.lottery import qp_nm_monte_carlo
 from repro.core.patterns import NMPattern
@@ -27,7 +30,7 @@ def _qkv(seq=256, d=64, seed=0):
 def test_bench_ablation_pruning_criterion(benchmark):
     """Value-based selection (what the attention epilogue does) vs magnitude-based."""
     q, k, v = _qkv()
-    ref = full_attention(q, k, v)
+    ref = repro.attention(q, k, v, mechanism="full")
 
     def run():
         by_value = dfss_attention(q, k, v, pattern="2:4", criterion="value")
@@ -61,12 +64,14 @@ def test_bench_ablation_nm_ratio_sweep(benchmark):
 def test_bench_ablation_blocked_ell_hybrid(benchmark):
     """Hybrid blocked-ELL + N:M vs pure N:M at a longer sequence length."""
     q, k, v = _qkv(seq=512, d=64, seed=1)
-    ref = full_attention(q, k, v)
+    ref = repro.attention(q, k, v, mechanism="full")
     window = sliding_window_mask(512, block_size=128, window_blocks=1)
 
     def run():
-        pure = dfss_attention(q, k, v, pattern="2:4")
-        hybrid = dfss_attention(q, k, v, pattern="2:4", block_mask=window)
+        pure = repro.attention(q, k, v, mechanism="dfss_2:4")
+        hybrid = repro.attention(
+            q, k, v, mechanism="dfss_2:4", block_mask=window
+        )
         return pure, hybrid
 
     pure, hybrid = benchmark(run)

@@ -9,7 +9,7 @@ quantity behind the paper's memory claims).
 import numpy as np
 import pytest
 
-from repro.core.attention import dfss_attention, full_attention
+import repro
 from repro.core.sddmm import sddmm_nm
 from repro.core.softmax import sparse_softmax
 from repro.core.spmm import spmm
@@ -48,11 +48,11 @@ def test_bench_spmm(benchmark, qkv):
 
 def test_bench_full_attention_reference(benchmark, qkv):
     q, k, v = qkv
-    out = benchmark(lambda: full_attention(q, k, v))
+    out = benchmark(lambda: repro.attention(q, k, v, mechanism="full"))
     assert out.shape == v.shape
 
 
 def test_bench_dfss_attention_pipeline(benchmark, qkv):
     q, k, v = qkv
-    out = benchmark(lambda: dfss_attention(q, k, v, pattern="2:4"))
+    out = benchmark(lambda: repro.attention(q, k, v, mechanism="dfss_2:4"))
     assert out.shape == v.shape

@@ -29,7 +29,12 @@ Exit status 0 means "ship it"; 1 means at least one check failed:
 * **train matrix floor** — an ``attention_train_matrix`` sparse row for a
   band-style mask mechanism (local, longformer) fell below the absolute
   floor (default 1x: the compressed padded-CSR path must never train slower
-  than the dense masked autograd path on band masks).
+  than the dense masked autograd path on band masks);
+* **serve throughput floor** — the ``serving_throughput`` batched speedup
+  (batched requests/sec over sequential requests/sec on the synthetic mixed
+  workload) dropped below the absolute floor (CLI default 1.5x, the serving
+  acceptance criterion; ``check()`` defaults it off so baseline-only
+  payloads stay valid).
 
 Fresh rows with no baseline counterpart — newly added kernels or mechanisms —
 are *skipped with a warning* rather than failing (or KeyError-ing), so adding
@@ -116,6 +121,7 @@ def check(
     min_e2e_speedup: float = 3.0,
     min_train_speedup: float = 2.0,
     min_matrix_speedup: float = 1.0,
+    min_serve_speedup: float = 0.0,
     warnings: Optional[List[str]] = None,
 ) -> Tuple[List[str], float]:
     """Return ``(failure messages, machine factor)``; no failures means pass.
@@ -134,7 +140,15 @@ def check(
             failures.append(f"coverage: baseline row {key} missing from fresh results")
     for key, row in sorted(fresh.items()):
         err = row.get("parity_max_rel_err")
-        if err is not None and err > parity_tol:
+        if key[0] == "serving_throughput":
+            # coalescing must be bitwise-invisible per request: the batched
+            # row's parity is required to be exactly zero, not just small
+            if err is not None and err != 0.0:
+                failures.append(
+                    f"parity: {key} batched output differs from sequential by "
+                    f"{err:.2e} (serving requires exact bitwise parity)"
+                )
+        elif err is not None and err > parity_tol:
             failures.append(
                 f"parity: {key} disagrees with reference by {err:.2e} "
                 f"(tolerance {parity_tol:.0e})"
@@ -174,6 +188,8 @@ def check(
         ("attention_train_step", "fast", min_train_speedup, "train floor"),
         ("attention_train_matrix", "sparse", min_matrix_speedup,
          "train matrix floor"),
+        ("serving_throughput", "batched", min_serve_speedup,
+         "serve throughput floor"),
     )
     for kernel_name, floor_backend, floor, label in floors:
         if floor <= 0:
@@ -225,6 +241,10 @@ def main(argv=None) -> int:
                              "rows of band-style masks (local, longformer) over "
                              "the dense masked autograd path (0 disables; "
                              "default 1.0)")
+    parser.add_argument("--min-serve-throughput", type=float, default=1.5,
+                        help="absolute floor for the serving_throughput batched "
+                             "requests/sec ratio over sequential serving "
+                             "(0 disables; default 1.5)")
     parser.add_argument("--update-baseline", action="store_true",
                         help="on success, overwrite the baseline with the fresh results")
     args = parser.parse_args(argv)
@@ -240,6 +260,7 @@ def main(argv=None) -> int:
         min_e2e_speedup=args.min_e2e_speedup,
         min_train_speedup=args.min_train_speedup,
         min_matrix_speedup=args.min_matrix_speedup,
+        min_serve_speedup=args.min_serve_throughput,
         warnings=warnings,
     )
     print(f"perf gate: {len(fresh_payload.get('results', []))} fresh rows vs "

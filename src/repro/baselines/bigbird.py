@@ -17,6 +17,8 @@ from repro.utils.seeding import SeedLike
     description="Blocked window/global/random pattern (Zaheer et al.)",
     produces_mask=True,
     compressed=True,
+    batchable=True,
+    static_mask=True,
 )
 @register
 class BigBirdAttention(AttentionMechanism):

@@ -23,6 +23,7 @@ from repro.registry import DfssConfig, register_mechanism
     produces_mask=True,
     compressed=True,
     supports_block_mask=True,
+    batchable=True,
     latency_model="dfss",
 )
 @register

@@ -69,6 +69,8 @@ class _FixedMaskAttention(AttentionMechanism):
     aliases=("local_window",),
     produces_mask=True,
     compressed=True,
+    batchable=True,
+    static_mask=True,
 )
 @register
 class LocalWindowAttention(_FixedMaskAttention):
@@ -93,6 +95,8 @@ class LocalWindowAttention(_FixedMaskAttention):
     aliases=("strided",),
     produces_mask=True,
     compressed=True,
+    batchable=True,
+    static_mask=True,
 )
 @register
 class StridedSparseAttention(_FixedMaskAttention):
@@ -118,6 +122,8 @@ class StridedSparseAttention(_FixedMaskAttention):
     aliases=("fixed", "truncated"),
     produces_mask=True,
     compressed=True,
+    batchable=True,
+    static_mask=True,
     latency_model="fixed",
 )
 @register

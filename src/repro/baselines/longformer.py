@@ -25,6 +25,8 @@ def longformer_mask(n_q: int, n_k: int, window: int, num_global: int) -> np.ndar
     description="Sliding window plus global tokens (Beltagy et al.)",
     produces_mask=True,
     compressed=True,
+    batchable=True,
+    static_mask=True,
 )
 @register
 class LongformerAttention(AttentionMechanism):

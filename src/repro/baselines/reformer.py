@@ -35,6 +35,7 @@ def lsh_bucket_ids(x: np.ndarray, n_buckets: int, n_hashes: int, rng) -> np.ndar
     description="LSH-bucketed attention (Kitaev et al.)",
     produces_mask=True,
     compressed=True,
+    batchable=True,
     latency_model="reformer",
 )
 @register

@@ -40,6 +40,7 @@ def kmeans_assign(points: np.ndarray, n_clusters: int, iters: int, rng) -> np.nd
     description="k-means routed attention (Roy et al.)",
     produces_mask=True,
     compressed=True,
+    batchable=True,
     latency_model="routing",
 )
 @register

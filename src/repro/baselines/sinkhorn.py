@@ -32,6 +32,7 @@ def sinkhorn_normalise(scores: np.ndarray, iters: int = 8) -> np.ndarray:
     description="Block-matched Sinkhorn attention (Tay et al.)",
     produces_mask=True,
     compressed=True,
+    batchable=True,
     latency_model="sinkhorn",
 )
 @register

@@ -22,6 +22,7 @@ from repro.registry import TopKConfig, register_mechanism
     description="Per-row explicit Top-K masking (oracle upper bound for DFSS)",
     produces_mask=True,
     compressed=True,
+    batchable=True,
     latency_model="topk",
 )
 @register

@@ -21,11 +21,13 @@ from repro.bench.runner import (
     ALL_BENCH_KERNELS,
     BENCH_KERNELS,
     CSR_BENCH_KERNELS,
+    SERVING_KERNEL,
     TRAIN_MATRIX_KERNEL,
     SCALE_SHAPES,
     BenchShape,
     run_benchmarks,
     run_csr_benchmarks,
+    run_serving_benchmark,
     run_train_matrix,
 )
 from repro.core.backend import available_backends
@@ -68,6 +70,12 @@ def main(argv=None) -> int:
                         help="mechanism subset for the attention_train_matrix "
                              "sweep (default: every trainable mask-based "
                              "mechanism with a compressed path)")
+    parser.add_argument("--serve-requests", type=int, default=None,
+                        help="request count for the serving_throughput workload "
+                             "(default: 12x the shape's batch size)")
+    parser.add_argument("--serve-batch-size", type=int, default=16,
+                        help="max ragged batch size for the serving_throughput "
+                             "batched rows (default: 16)")
     parser.add_argument("--backends", nargs="+", default=["reference", "fast"],
                         choices=available_backends(),
                         help="backends to time; the first is the speedup baseline "
@@ -116,6 +124,16 @@ def main(argv=None) -> int:
             # dense/sparse is the matrix's row axis; the kernel backend both
             # paths dispatch to is the last (measured) --backends entry
             backend=args.backends[-1],
+            seed=args.seed,
+            shape=args.shape,
+        )
+    if SERVING_KERNEL in selected:
+        results += run_serving_benchmark(
+            scale=args.scale,
+            repeats=args.repeats,
+            warmup=args.warmup,
+            n_requests=args.serve_requests,
+            max_batch_size=args.serve_batch_size,
             seed=args.seed,
             shape=args.shape,
         )

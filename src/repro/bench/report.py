@@ -28,6 +28,12 @@
       ]
     }
 
+``serving_throughput`` rows (backend ``sequential``/``batched``, shape
+``B2xH4xL256xD64/serve-mix12``) additionally carry ``requests_per_s`` and
+``latency_p50_s``/``latency_p95_s``/``latency_p99_s`` columns; their
+``speedup`` is sequential-median / batched-median, i.e. the requests/sec
+ratio the CI gate floors.
+
 The committed baseline (``benchmarks/baseline_kernels.json``) uses the same
 schema, which is what lets ``scripts/check_bench_regression.py`` diff a fresh
 run against it.
@@ -64,6 +70,10 @@ def results_to_payload(
             "speedup": r.speedup,
             "parity_max_rel_err": r.parity_max_rel_err,
         }
+        if r.extra:
+            # kernel-specific columns (serving_throughput: requests_per_s and
+            # latency percentiles); absent on ordinary kernel rows
+            row.update(r.extra)
         if include_timings:
             row["timings_s"] = r.timings_s
         rows.append(row)

@@ -78,8 +78,14 @@ CSR_BENCH_KERNELS = (
 #: autograd path) produced by :func:`run_train_matrix`.
 TRAIN_MATRIX_KERNEL = "attention_train_matrix"
 
+#: Serving throughput on the synthetic mixed workload (batched coalescing vs
+#: per-request sequential execution) produced by :func:`run_serving_benchmark`.
+SERVING_KERNEL = "serving_throughput"
+
 #: Everything ``python -m repro.bench`` runs by default.
-ALL_BENCH_KERNELS = BENCH_KERNELS + CSR_BENCH_KERNELS + (TRAIN_MATRIX_KERNEL,)
+ALL_BENCH_KERNELS = (
+    BENCH_KERNELS + CSR_BENCH_KERNELS + (TRAIN_MATRIX_KERNEL, SERVING_KERNEL)
+)
 
 
 @dataclass
@@ -96,6 +102,9 @@ class BenchResult:
     parity_max_rel_err: Optional[float] = None
     repeats: int = 0
     timings_s: List[float] = field(default_factory=list)
+    #: kernel-specific extra payload columns (e.g. the serving benchmark's
+    #: requests/sec and latency percentiles); merged into the JSON row.
+    extra: Optional[Dict[str, float]] = None
 
 
 def _time(fn: Callable[[], object], repeats: int, warmup: int) -> List[float]:
@@ -447,4 +456,130 @@ def run_train_matrix(
                 repeats, warmup, dense_row.median_s, parity,
             )
         )
+    return results
+
+
+def run_serving_benchmark(
+    scale: str = "smoke",
+    repeats: int = 3,
+    warmup: int = 1,
+    n_requests: Optional[int] = None,
+    backends: Sequence[str] = ("sequential", "batched"),
+    max_batch_size: int = 16,
+    seed: int = 0,
+    shape: Optional[BenchShape] = None,
+) -> List[BenchResult]:
+    """Closed-loop serving throughput: ragged coalescing vs sequential serving.
+
+    Replays the synthetic mixed workload (static-mask mechanisms across three
+    sequence lengths, see :func:`repro.serve.workload.synthetic_workload`)
+    through ``repro.serve`` twice: ``sequential`` serves every request in
+    isolation — a fresh single-request server per request, so no coalescing,
+    no cross-request structure cache, no engine reuse, exactly what handling
+    each request independently costs — and ``batched`` hands the whole stream
+    to one server that coalesces up to ``max_batch_size`` requests into one
+    ragged batch and shares cached structures across them.  All requests are
+    enqueued up front (closed loop), so the elapsed drain time is pure
+    serving work.
+
+    Rows land in ``BENCH_kernels.json`` as kernel ``serving_throughput`` with
+    extra columns ``requests_per_s`` and ``latency_p50_s``/``p95``/``p99``;
+    the ``batched`` row's ``speedup`` is sequential-median / batched-median —
+    identical to the requests/sec ratio, which is what the CI gate floors.
+    The parity column compares the batched outputs against the sequential
+    outputs and must be exactly ``0.0``: the width-invariant ragged kernels
+    guarantee bitwise request-isolation.
+    """
+    from repro.serve import AttentionServer, serve, synthetic_workload
+
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    shape = _resolve_shape(scale, shape)
+    if n_requests is None:
+        n_requests = 12 * shape.batch
+    batch_sizes = {"sequential": 1, "batched": max_batch_size}
+    unknown = set(backends) - set(batch_sizes)
+    if unknown:
+        raise ValueError(
+            f"unknown serving backends {sorted(unknown)}; "
+            f"expected {tuple(batch_sizes)}"
+        )
+    seq_lens = tuple(
+        sorted({max(16, shape.seq_len // 4), max(16, shape.seq_len // 2), shape.seq_len})
+    )
+    requests = synthetic_workload(
+        n_requests,
+        seq_lens=seq_lens,
+        # single-head requests: the per-stream serving granularity, and the
+        # regime where coalescing (not intra-request head grouping) pays
+        heads=1,
+        head_dim=shape.head_dim,
+        seed=seed,
+    )
+    label = shape.label(f"serve-mix{n_requests}")
+
+    results: List[BenchResult] = []
+    baseline_out: Optional[np.ndarray] = None
+    baseline_median: Optional[float] = None
+    for backend in backends:
+        batch_size = batch_sizes[backend]
+        # the batched arm is one long-lived server handling the stream — its
+        # structure cache persists across requests (that is the feature being
+        # measured); the sequential arm spins up a fresh server per request
+        server = None if batch_size == 1 else AttentionServer(
+            max_batch_size=batch_size
+        )
+
+        def run():
+            if server is None:
+                # per-request isolation: a fresh server per request
+                served = []
+                for request in requests:
+                    served.extend(serve([request], max_batch_size=1))
+                return served
+            return serve(requests, server=server)
+
+        served = None
+        for _ in range(warmup):
+            served = run()
+        timings = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            served = run()
+            timings.append(time.perf_counter() - start)
+        out = np.concatenate([r.output.ravel() for r in served])
+        parity = (
+            None if baseline_out is None else _rel_frobenius(out, baseline_out)
+        )
+        median = float(np.median(timings))
+        if baseline_median is None:
+            speedup = 1.0
+        else:
+            speedup = baseline_median / median if median > 0 else float("inf")
+        latencies = np.array([r.latency_s for r in served], dtype=float)
+        results.append(
+            BenchResult(
+                kernel=SERVING_KERNEL,
+                shape=label,
+                backend=backend,
+                median_s=median,
+                p10_s=float(np.percentile(timings, 10)),
+                p90_s=float(np.percentile(timings, 90)),
+                speedup=speedup,
+                parity_max_rel_err=parity,
+                repeats=repeats,
+                timings_s=[float(t) for t in timings],
+                extra={
+                    "requests_per_s": (
+                        n_requests / median if median > 0 else float("inf")
+                    ),
+                    "latency_p50_s": float(np.percentile(latencies, 50)),
+                    "latency_p95_s": float(np.percentile(latencies, 95)),
+                    "latency_p99_s": float(np.percentile(latencies, 99)),
+                },
+            )
+        )
+        if baseline_median is None:
+            baseline_out = out
+            baseline_median = median
     return results

@@ -26,7 +26,7 @@ the mechanism itself takes a ``backend`` argument (DFSS, Nyströmformer).
 from __future__ import annotations
 
 from contextlib import ExitStack
-from dataclasses import dataclass, field, fields as dataclass_fields, replace
+from dataclasses import dataclass, field
 from typing import List, Mapping, Optional
 
 import numpy as np
@@ -52,6 +52,8 @@ class AttentionConfig:
 
     mechanism: str = "dfss_2:4"
     backend: Optional[str] = None
+    path: Optional[str] = None
+    block_mask: Optional[object] = None
     seq_len_hint: int = 512
     options: Mapping[str, object] = field(default_factory=dict)
 
@@ -80,6 +82,9 @@ class AttentionEngine:
         backend: Optional[str] = None,
         seq_len_hint: int = 512,
         _options: Optional[Mapping[str, object]] = None,
+        *,
+        path: Optional[str] = None,
+        block_mask: Optional[object] = None,
         **options,
     ):
         # _options carries a pre-assembled mechanism-option mapping (used by
@@ -87,6 +92,14 @@ class AttentionEngine:
         # config field that would collide with the engine-level parameter)
         merged = {**dict(_options or {}), **options}
         self.spec, self.config = registry.make_config(mechanism, **merged)
+        # path= / block_mask= are accepted uniformly by every construction
+        # surface and validated through the registry's shared override
+        # validator: mechanisms without the config field raise the same
+        # TypeError a bad **options key does (an explicit option always wins
+        # over the engine-level override)
+        self.config = registry.apply_config_overrides(
+            self.spec, self.config, {"path": path, "block_mask": block_mask}
+        )
         self.backend = backend
         self.seq_len_hint = int(seq_len_hint)
         self._mechanism = None
@@ -101,6 +114,8 @@ class AttentionEngine:
             backend=config.backend,
             seq_len_hint=config.seq_len_hint,
             _options=config.options,
+            path=config.path,
+            block_mask=config.block_mask,
         )
 
     # -------------------------------------------------------------- properties
@@ -120,18 +135,35 @@ class AttentionEngine:
             self._mechanism = self.spec.build_mechanism(self.config)
         return self._mechanism
 
-    def core(self, seq_len_hint: Optional[int] = None):
+    def core(
+        self,
+        seq_len_hint: Optional[int] = None,
+        *,
+        backend: Optional[str] = None,
+        path: Optional[str] = None,
+        block_mask: Optional[object] = None,
+    ):
         """Build a trainable :class:`~repro.nn.attention_layer.AttentionCore`.
 
-        The engine-level ``backend`` is forwarded into the core's config when
-        the mechanism takes one (the numpy forward path instead scopes it via
-        :func:`use_backend`).  Raises ``ValueError`` for mechanisms without a
-        registered core (``spec.trainable`` is ``False``).
+        ``backend=`` / ``path=`` / ``block_mask=`` override the engine-level
+        settings for this core only, through the same shared validator as
+        engine construction.  ``backend`` is lenient — mechanisms without a
+        ``backend`` config field still honour it as a kernel-registry scope on
+        the numpy path, so it never raises — while an inapplicable ``path`` or
+        ``block_mask`` raises the registry's uniform ``TypeError``.  Raises
+        ``ValueError`` for mechanisms without a registered core
+        (``spec.trainable`` is ``False``).
         """
-        config = self.config
-        field_names = {f.name for f in dataclass_fields(type(config))}
-        if self.backend is not None and "backend" in field_names and config.backend is None:
-            config = replace(config, backend=self.backend)
+        config = registry.apply_config_overrides(
+            self.spec,
+            self.config,
+            {
+                "backend": self.backend if backend is None else backend,
+                "path": path,
+                "block_mask": block_mask,
+            },
+            lenient=("backend",),
+        )
         return self.spec.build_core(
             config, self.seq_len_hint if seq_len_hint is None else int(seq_len_hint)
         )
@@ -187,12 +219,19 @@ def attention(
     v: np.ndarray,
     mechanism: str = "dfss_2:4",
     backend: Optional[str] = None,
+    path: Optional[str] = None,
+    block_mask: Optional[object] = None,
     **options,
 ) -> np.ndarray:
     """One-shot attention through any registered mechanism.
 
     ``repro.attention(q, k, v)`` is the paper's drop-in replacement; pass
     ``mechanism="full"`` for the dense reference or any name from
-    :func:`repro.available_mechanisms` for a baseline.
+    :func:`repro.available_mechanisms` for a baseline.  ``backend=`` /
+    ``path=`` / ``block_mask=`` are accepted uniformly with
+    :meth:`AttentionEngine.core` and :class:`AttentionConfig`; a knob the
+    mechanism does not support raises the registry's uniform ``TypeError``.
     """
-    return AttentionEngine(mechanism, backend=backend, **options)(q, k, v)
+    return AttentionEngine(
+        mechanism, backend=backend, path=path, block_mask=block_mask, **options
+    )(q, k, v)

@@ -8,9 +8,10 @@ replaces all of them with a single declarative catalogue:
 
 * :class:`MechanismSpec` — one record per mechanism: canonical name, aliases,
   capability flags (``trainable``, ``produces_mask``, ``compressed``,
-  ``supports_block_mask``), a typed config dataclass, and constructors for
-  both the forward-only numpy mechanism (:mod:`repro.baselines`) and the
-  trainable autograd core (:mod:`repro.nn.attention_layer`);
+  ``supports_block_mask``, ``batchable``, ``static_mask``), a typed config
+  dataclass, and constructors for both the forward-only numpy mechanism
+  (:mod:`repro.baselines`) and the trainable autograd core
+  (:mod:`repro.nn.attention_layer`);
 * :func:`register_mechanism` — the decorator each baseline class / core
   builder registers itself with;
 * :func:`find_spec` / :func:`available_mechanisms` / :func:`describe_mechanism`
@@ -30,7 +31,7 @@ time instead of surfacing deep inside a forward pass.
 from __future__ import annotations
 
 import inspect
-from dataclasses import dataclass, fields
+from dataclasses import dataclass, fields, replace
 from typing import Callable, ClassVar, Dict, Mapping, Optional, Tuple
 
 from repro.core.blocked_ell import BlockedEllMask
@@ -48,6 +49,7 @@ __all__ = [
     "make_config",
     "make_mechanism",
     "make_core",
+    "apply_config_overrides",
 ]
 
 
@@ -77,10 +79,7 @@ class MechanismConfig:
         valid = {f.name for f in fields(cls)}
         unknown = sorted(set(mapped) - valid)
         if unknown:
-            raise TypeError(
-                f"unexpected keyword arguments {unknown} for attention mechanism "
-                f"{mechanism!r}; accepted: {sorted(valid)}"
-            )
+            raise _unexpected_kwargs_error(mechanism, unknown, valid)
         return cls(**mapped)
 
     # ------------------------------------------------------------- kwarg views
@@ -118,6 +117,20 @@ class MechanismConfig:
             value = getattr(self, f.name)
             out[f.name] = getattr(value, "name", value)
         return out
+
+
+def _unexpected_kwargs_error(mechanism: str, unknown, accepted) -> TypeError:
+    """The one ``TypeError`` every construction surface raises for bad kwargs.
+
+    Shared by :meth:`MechanismConfig.from_kwargs` (the registry's own
+    validation) and :func:`apply_config_overrides` (the engine-level
+    ``backend=`` / ``path=`` / ``block_mask=`` normalisation), so a typo or an
+    unsupported knob reads identically no matter which API surfaced it.
+    """
+    return TypeError(
+        f"unexpected keyword arguments {sorted(unknown)} for attention mechanism "
+        f"{mechanism!r}; accepted: {sorted(accepted)}"
+    )
 
 
 def _check_positive(value, name: str) -> None:
@@ -432,6 +445,17 @@ class MechanismSpec:
     produces_mask: bool = False
     compressed: bool = False
     supports_block_mask: bool = False
+    #: whether the serving layer (:mod:`repro.serve`) may coalesce requests of
+    #: this mechanism into one ragged padded-CSR batch.  True for mask-based
+    #: mechanisms whose ``attention_mask(q, k)`` fully determines the
+    #: computation; mechanisms without a mask (or whose pipeline is not the
+    #: masked-softmax one, e.g. Linformer's projection) fall back to
+    #: per-request execution.
+    batchable: bool = False
+    #: whether the mask depends only on (config, sequence lengths) — never on
+    #: the request content — so the serving structure cache may reuse one
+    #: compressed structure across requests.
+    static_mask: bool = False
     #: key into :data:`repro.gpusim.attention_latency.ATTENTION_MECHANISMS`
     #: (and the memory model), when an analytical latency model exists.
     latency_model: Optional[str] = None
@@ -449,6 +473,8 @@ class MechanismSpec:
             "produces_mask": self.produces_mask,
             "compressed": self.compressed,
             "supports_block_mask": self.supports_block_mask,
+            "batchable": self.batchable,
+            "static_mask": self.static_mask,
         }
 
     def build_mechanism(self, config: MechanismConfig):
@@ -489,6 +515,8 @@ def register_mechanism(
     produces_mask: bool = False,
     compressed: bool = False,
     supports_block_mask: bool = False,
+    batchable: bool = False,
+    static_mask: bool = False,
     latency_model: Optional[str] = None,
 ):
     """Decorator registering a baseline class or core builder under ``name``.
@@ -526,6 +554,8 @@ def register_mechanism(
                 produces_mask=produces_mask,
                 compressed=compressed,
                 supports_block_mask=supports_block_mask,
+                batchable=batchable,
+                static_mask=static_mask,
                 latency_model=latency_model,
                 mechanism_builder=obj,
             )
@@ -608,6 +638,8 @@ def available_mechanisms(
     produces_mask: Optional[bool] = None,
     compressed: Optional[bool] = None,
     supports_block_mask: Optional[bool] = None,
+    batchable: Optional[bool] = None,
+    static_mask: Optional[bool] = None,
 ) -> Tuple[str, ...]:
     """Names of registered mechanisms, optionally filtered by capability flags."""
     _ensure_populated()
@@ -620,6 +652,10 @@ def available_mechanisms(
         if compressed is not None and spec.compressed != compressed:
             continue
         if supports_block_mask is not None and spec.supports_block_mask != supports_block_mask:
+            continue
+        if batchable is not None and spec.batchable != batchable:
+            continue
+        if static_mask is not None and spec.static_mask != static_mask:
             continue
         out.append(spec.name)
     return tuple(out)
@@ -656,6 +692,41 @@ def make_config(name: str, **kwargs) -> Tuple[MechanismSpec, MechanismConfig]:
     spec = _REGISTRY[key]
     merged = {**{k: v for k, v in implied.items() if k not in kwargs}, **kwargs}
     return spec, spec.config_cls.from_kwargs(spec.name, **merged)
+
+
+def apply_config_overrides(
+    spec: MechanismSpec,
+    config: MechanismConfig,
+    overrides: Mapping[str, object],
+    lenient: Tuple[str, ...] = (),
+) -> MechanismConfig:
+    """Fill config fields from engine-level overrides with uniform validation.
+
+    The one normalisation path behind ``repro.attention(backend=..., path=...,
+    block_mask=...)``, ``AttentionEngine.core(...)`` and
+    :class:`repro.engine.AttentionConfig`: ``overrides`` maps config field
+    names to values, where ``None`` means "no override".  A non-``None``
+    override of a field the mechanism's config does not declare raises the
+    same ``TypeError`` as :meth:`MechanismConfig.from_kwargs` — unless the
+    name is listed in ``lenient`` (knobs like ``backend`` that stay meaningful
+    for every mechanism because they also scope the kernel registry).  An
+    override only fills a field still at its declared default: an explicit
+    per-mechanism option always wins.
+    """
+    field_map = {f.name: f for f in fields(type(config))}
+    unknown = sorted(
+        name for name, value in overrides.items()
+        if value is not None and name not in field_map and name not in lenient
+    )
+    if unknown:
+        raise _unexpected_kwargs_error(spec.name, unknown, field_map)
+    updates = {
+        name: value
+        for name, value in overrides.items()
+        if value is not None and name in field_map
+        and getattr(config, name) == field_map[name].default
+    }
+    return replace(config, **updates) if updates else config
 
 
 def make_mechanism(name: str, **kwargs):

@@ -1,0 +1,224 @@
+"""Request preparation and ragged coalescing for the serving engine.
+
+A :class:`~repro.serve.engine.ServeRequest` carries ``(..., seq, d)`` tensors
+with arbitrary leading dimensions (heads, beams).  Preparation flattens the
+leading dimensions into per-sequence *segments* — ``(seq, d)`` query/key/value
+slices plus the 2-D compressed structure of that slice's attention mask — and
+resolves the structure through the serving cache for static-mask mechanisms.
+Coalescing then block-diagonally concatenates any number of segments from any
+mix of mechanisms and sequence lengths
+(:meth:`~repro.core.padded_csr.PaddedCSRMatrix.concat_ragged`) and runs the
+width-invariant kernels of :mod:`repro.serve.executor` once over the whole
+batch.
+
+Requests whose mechanism is not ``batchable`` never reach this path; the
+server executes them one by one through their
+:class:`~repro.engine.AttentionEngine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.layout import SequenceSegments
+from repro.core.padded_csr import PaddedCSRMatrix
+from repro.serve.cache import StructureCache
+from repro.serve.executor import grouped_attention, ragged_attention
+
+__all__ = [
+    "Segment",
+    "PreparedRequest",
+    "structure_cache_key",
+    "prepare_request",
+    "run_ragged_batch",
+]
+
+
+@dataclass
+class Segment:
+    """One ``(seq, d)`` slice of a request plus its compressed mask structure."""
+
+    q: np.ndarray
+    k: np.ndarray
+    v: np.ndarray
+    structure: PaddedCSRMatrix
+
+
+@dataclass
+class PreparedRequest:
+    """A request decomposed for execution: segments, route, cache accounting."""
+
+    request: "object"  # ServeRequest; untyped to avoid the circular import
+    mechanism: str
+    batchable: bool
+    segments: List[Segment]
+    #: True/False for static-mask mechanisms (did the structure cache hit),
+    #: None when no cache lookup happened (content-dependent or custom mask).
+    cache_hit: Optional[bool]
+    #: fallback engine for non-batchable requests (None on the ragged path).
+    engine: Optional[object] = None
+
+
+def structure_cache_key(
+    mechanism: str, config, n_q: int, n_k: int
+) -> Tuple[Hashable, ...]:
+    """Cache key of a static mask: mechanism, full config, sequence lengths.
+
+    Config values are keyed by ``repr`` so unhashable members (e.g. a blocked
+    mask object) cannot poison the key; two configs with equal reprs build
+    identical masks for static mechanisms.
+    """
+    described = config.describe()
+    return (
+        mechanism,
+        tuple(sorted((name, repr(value)) for name, value in described.items())),
+        n_q,
+        n_k,
+    )
+
+
+def _flatten(request) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Reshape the request tensors to ``(n_segments, seq, d)``."""
+    q, k, v = request.q, request.k, request.v
+    n_seg = int(np.prod(q.shape[:-2], dtype=np.int64)) if q.ndim > 2 else 1
+    q3 = q.reshape(n_seg, q.shape[-2], q.shape[-1])
+    k3 = k.reshape(n_seg, k.shape[-2], k.shape[-1])
+    v3 = v.reshape(n_seg, v.shape[-2], v.shape[-1])
+    return q3, k3, v3
+
+
+def prepare_request(request, engine, cache: StructureCache) -> PreparedRequest:
+    """Decompose one request into segments, resolving structures via ``cache``.
+
+    ``engine`` is the request's :class:`~repro.engine.AttentionEngine` (or
+    ``None`` when the request carries an explicit ``mask``, which bypasses the
+    mechanism registry entirely).  Structure resolution happens here — at
+    enqueue time — so the deadline scheduler's flush is pure kernel work.
+    """
+    if request.mask is not None:
+        q3, k3, v3 = _flatten(request)
+        n_seg, n_q, n_k = q3.shape[0], q3.shape[1], k3.shape[1]
+        mask = np.asarray(request.mask, dtype=bool)
+        if mask.shape[-2:] != (n_q, n_k):
+            raise ValueError(
+                f"mask trailing shape {mask.shape[-2:]} != ({n_q}, {n_k})"
+            )
+        if mask.ndim == 2:
+            shared = PaddedCSRMatrix.from_mask(mask)
+            structures = [shared] * n_seg
+        else:
+            m3 = np.broadcast_to(
+                mask, request.q.shape[:-2] + (n_q, n_k)
+            ).reshape(n_seg, n_q, n_k)
+            structures = [PaddedCSRMatrix.from_mask(m3[i]) for i in range(n_seg)]
+        segments = [
+            Segment(q3[i], k3[i], v3[i], structures[i]) for i in range(n_seg)
+        ]
+        return PreparedRequest(request, "mask", True, segments, None)
+
+    spec = engine.spec
+    if not spec.batchable:
+        return PreparedRequest(request, spec.name, False, [], None, engine=engine)
+
+    q3, k3, v3 = _flatten(request)
+    n_seg, n_q, n_k = q3.shape[0], q3.shape[1], k3.shape[1]
+    cache_hit: Optional[bool] = None
+    if spec.static_mask:
+        key = structure_cache_key(spec.name, engine.config, n_q, n_k)
+        cache_hit = key in cache
+        # the mask depends only on (config, lengths): one representative 2-D
+        # slice builds the structure every segment of every request shares
+        shared = cache.get(
+            key,
+            lambda: PaddedCSRMatrix.from_mask(engine.attention_mask(q3[0], k3[0])),
+        )
+        structures = [shared] * n_seg
+    else:
+        mask = engine.attention_mask(q3, k3)
+        if mask is None:
+            raise ValueError(
+                f"mechanism {spec.name!r} is flagged batchable but produced no "
+                f"attention mask"
+            )
+        m3 = np.broadcast_to(np.asarray(mask, dtype=bool), (n_seg, n_q, n_k))
+        structures = [PaddedCSRMatrix.from_mask(m3[i]) for i in range(n_seg)]
+    segments = [Segment(q3[i], k3[i], v3[i], structures[i]) for i in range(n_seg)]
+    return PreparedRequest(request, spec.name, True, segments, cache_hit)
+
+
+def run_ragged_batch(prepared: Sequence[PreparedRequest]) -> List[np.ndarray]:
+    """Execute batchable prepared requests as one ragged batch.
+
+    Returns one output array per request, reshaped back to its leading
+    dimensions.  Segments sharing a cached structure object — different
+    heads, and different *requests* with the same (mechanism, config,
+    lengths) — are stacked and executed by one grouped fold per lane
+    (:func:`~repro.serve.executor.grouped_attention`); the remaining
+    one-of-a-kind segments (content-dependent or custom masks) are
+    block-diagonally coalesced through
+    :meth:`~repro.core.padded_csr.PaddedCSRMatrix.concat_ragged`.  Both paths
+    are width- and stacking-invariant, so every per-segment output is
+    bitwise-identical to a batch of one.
+    """
+    segments = [seg for p in prepared for seg in p.segments]
+    if not segments:
+        return []
+    groups: "dict[int, List[int]]" = {}
+    for index, seg in enumerate(segments):
+        groups.setdefault(id(seg.structure), []).append(index)
+
+    outputs_by_segment: List[Optional[np.ndarray]] = [None] * len(segments)
+    singles: List[int] = []
+    for members in groups.values():
+        if len(members) == 1:
+            singles.append(members[0])
+            continue
+        stack = [segments[i] for i in members]
+        out3 = grouped_attention(
+            np.stack([s.q for s in stack]),
+            np.stack([s.k for s in stack]),
+            np.stack([s.v for s in stack]),
+            stack[0].structure,
+        )
+        for slot, i in enumerate(members):
+            outputs_by_segment[i] = out3[slot]
+
+    if singles:
+        stack = [segments[i] for i in singles]
+        structure = PaddedCSRMatrix.concat_ragged([s.structure for s in stack])
+        layout = SequenceSegments.from_lengths(
+            [s.q.shape[0] for s in stack], [s.k.shape[0] for s in stack]
+        )
+        blocks = [
+            (layout.row_offsets[i], layout.row_offsets[i + 1])
+            for i in range(len(layout))
+        ]
+        key_blocks = [
+            (layout.key_offsets[i], layout.key_offsets[i + 1])
+            for i in range(len(layout))
+        ]
+        out = ragged_attention(
+            np.concatenate([s.q for s in stack], axis=0),
+            np.concatenate([s.k for s in stack], axis=0),
+            np.concatenate([s.v for s in stack], axis=0),
+            structure,
+            row_blocks=blocks,
+            key_blocks=key_blocks,
+        )
+        for i, part in zip(singles, layout.split_rows(out)):
+            outputs_by_segment[i] = part
+
+    outputs: List[np.ndarray] = []
+    cursor = 0
+    for p in prepared:
+        chunk = outputs_by_segment[cursor:cursor + len(p.segments)]
+        cursor += len(p.segments)
+        lead = p.request.q.shape[:-2]
+        if lead:
+            outputs.append(np.stack(chunk, axis=0).reshape(lead + chunk[0].shape))
+        else:
+            outputs.append(chunk[0])
+    return outputs

@@ -1,0 +1,69 @@
+"""LRU cache of compressed attention structures for the serving engine.
+
+Static-mask mechanisms (``static_mask=True`` in the registry) derive their
+boolean mask from the configuration and the sequence lengths alone — never
+from request content — so the padded-CSR structure compressed for one request
+serves every later request with the same ``(mechanism, config, lengths)``
+key.  At serving scale this removes the mask build *and* the
+``from_mask`` argsort from the hot path entirely; only content-dependent
+mechanisms (DFSS, Top-K, LSH/clustering) pay per-request structure costs.
+
+Hit/miss counters are first-class: the server surfaces them through
+``AttentionServer.stats()`` so a deployment can see whether its traffic mix
+actually reuses structures.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, Hashable
+
+__all__ = ["StructureCache"]
+
+
+class StructureCache:
+    """Bounded LRU mapping of structure keys to compressed structures.
+
+    Entries are evicted least-recently-*used* (a hit refreshes recency).
+    The cache never inspects its values — any immutable-after-build object
+    works — but in the serving engine every value is a 2-D
+    :class:`~repro.core.padded_csr.PaddedCSRMatrix`.
+    """
+
+    def __init__(self, max_entries: int = 256):
+        if max_entries <= 0:
+            raise ValueError(f"max_entries must be positive, got {max_entries!r}")
+        self.max_entries = int(max_entries)
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def get(self, key: Hashable, build: Callable[[], object]) -> object:
+        """Return the cached value for ``key``, building (and counting a miss)
+        once on first use."""
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.misses += 1
+            value = build()
+            self._entries[key] = value
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+            return value
+        self.hits += 1
+        self._entries.move_to_end(key)
+        return value
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "entries": len(self._entries)}
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0

@@ -1,0 +1,67 @@
+"""Synthetic heavy-traffic workload generator for the serving engine.
+
+Produces a reproducible stream of :class:`~repro.serve.engine.ServeRequest`
+objects mixing mechanisms and sequence lengths, with exponential inter-arrival
+gaps (a Poisson arrival process at ``rate_rps`` requests/second) recorded in
+``arrival_offset_s``.  The ``serving_throughput`` benchmark and the serving
+tests both draw from here so "the workload" means one thing everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.serve.engine import ServeRequest
+
+__all__ = ["DEFAULT_MIX", "synthetic_workload"]
+
+#: Default traffic mix: static-mask mechanisms with distinct sparsity
+#: patterns, all coalescible into one ragged batch.
+DEFAULT_MIX: Tuple[Tuple[str, Mapping[str, object]], ...] = (
+    ("local", {"window": 16}),
+    ("sparse_transformer", {"window": 8, "stride": 64}),
+    ("longformer", {"window": 8, "num_global": 2}),
+    ("bigbird", {"block_size": 32}),
+)
+
+
+def synthetic_workload(
+    n_requests: int,
+    seq_lens: Sequence[int] = (64, 128, 256),
+    heads: int = 2,
+    head_dim: int = 64,
+    mix: Sequence[Tuple[str, Mapping[str, object]]] = DEFAULT_MIX,
+    rate_rps: float = 2000.0,
+    seed: int = 0,
+) -> List[ServeRequest]:
+    """Generate ``n_requests`` self-attention requests with Poisson arrivals.
+
+    Each request draws a (mechanism, options) pair from ``mix`` and a
+    sequence length from ``seq_lens`` uniformly at random, with
+    ``(heads, seq_len, head_dim)`` float32 tensors.  Deterministic in
+    ``seed``.
+    """
+    if n_requests < 0:
+        raise ValueError(f"n_requests must be >= 0, got {n_requests!r}")
+    rng = np.random.default_rng(seed)
+    requests: List[ServeRequest] = []
+    arrival = 0.0
+    for i in range(n_requests):
+        mechanism, options = mix[int(rng.integers(len(mix)))]
+        seq_len = int(seq_lens[int(rng.integers(len(seq_lens)))])
+        shape = (heads, seq_len, head_dim)
+        arrival += float(rng.exponential(1.0 / rate_rps)) if rate_rps > 0 else 0.0
+        requests.append(
+            ServeRequest(
+                q=rng.standard_normal(shape).astype(np.float32),
+                k=rng.standard_normal(shape).astype(np.float32),
+                v=rng.standard_normal(shape).astype(np.float32),
+                mechanism=mechanism,
+                options=dict(options),
+                request_id=f"r{i}",
+                arrival_offset_s=arrival,
+            )
+        )
+    return requests

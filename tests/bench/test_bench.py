@@ -293,3 +293,134 @@ class TestPerfGate:
         assert train and all(r["speedup"] >= 2.0 for r in train)
         failures, factor = gate.check(payload, payload)
         assert failures == [] and factor == 1.0
+
+
+class TestServingBench:
+    @pytest.fixture(scope="class")
+    def serving_results(self):
+        from repro.bench.runner import run_serving_benchmark
+
+        return run_serving_benchmark(repeats=2, warmup=1, shape=TINY, seed=0)
+
+    def test_rows_and_backends(self, serving_results):
+        assert [r.backend for r in serving_results] == ["sequential", "batched"]
+        assert all(r.kernel == "serving_throughput" for r in serving_results)
+
+    def test_batched_bitwise_parity_with_sequential(self, serving_results):
+        sequential, batched = serving_results
+        assert sequential.parity_max_rel_err is None
+        assert batched.parity_max_rel_err == 0.0
+
+    def test_latency_and_throughput_extras(self, serving_results):
+        for row in serving_results:
+            extra = row.extra
+            assert extra["requests_per_s"] > 0
+            assert (
+                0
+                <= extra["latency_p50_s"]
+                <= extra["latency_p95_s"]
+                <= extra["latency_p99_s"]
+            )
+
+    def test_speedup_is_throughput_ratio(self, serving_results):
+        sequential, batched = serving_results
+        assert sequential.speedup == 1.0
+        assert batched.speedup == pytest.approx(
+            batched.extra["requests_per_s"] / sequential.extra["requests_per_s"],
+            rel=1e-9,
+        )
+
+    def test_payload_rows_carry_extras(self, serving_results):
+        payload = results_to_payload(serving_results, scale="smoke", repeats=2)
+        for row in payload["results"]:
+            assert set(row) == {
+                "kernel", "shape", "backend", "median_s", "p10_s", "p90_s",
+                "speedup", "parity_max_rel_err", "requests_per_s",
+                "latency_p50_s", "latency_p95_s", "latency_p99_s",
+            }
+
+    def test_unknown_serving_backend_rejected(self):
+        from repro.bench.runner import run_serving_benchmark
+
+        with pytest.raises(ValueError, match="unknown serving backends"):
+            run_serving_benchmark(shape=TINY, backends=("sequential", "warp"))
+
+
+class TestServeGate:
+    @staticmethod
+    def _serving_rows(speedup):
+        shape = "B1xH2xL32xD16/serve-mix12"
+        sequential = {
+            "kernel": "serving_throughput", "shape": shape,
+            "backend": "sequential", "median_s": 0.01, "p10_s": 0.01,
+            "p90_s": 0.01, "speedup": 1.0, "parity_max_rel_err": None,
+            "requests_per_s": 1200.0, "latency_p50_s": 1e-3,
+            "latency_p95_s": 2e-3, "latency_p99_s": 3e-3,
+        }
+        batched = dict(sequential, backend="batched", speedup=speedup,
+                       parity_max_rel_err=0.0)
+        return [sequential, batched]
+
+    def test_serve_floor_fires_below_threshold(self):
+        gate = _load_gate()
+        payload = {"schema_version": 1, "results": self._serving_rows(1.2)}
+        failures, _ = gate.check(
+            payload, payload, min_e2e_speedup=0.0, min_train_speedup=0.0,
+            min_matrix_speedup=0.0, min_serve_speedup=1.5,
+        )
+        assert any("serve throughput floor" in f for f in failures)
+
+    def test_serve_floor_passes_above_threshold(self):
+        gate = _load_gate()
+        payload = {"schema_version": 1, "results": self._serving_rows(2.0)}
+        failures, _ = gate.check(
+            payload, payload, min_e2e_speedup=0.0, min_train_speedup=0.0,
+            min_matrix_speedup=0.0, min_serve_speedup=1.5,
+        )
+        assert failures == []
+
+    def test_serving_parity_must_be_exactly_zero(self):
+        # a tiny-but-nonzero parity error would pass the generic 1e-2
+        # tolerance; the serving contract is bitwise, so the gate must fail
+        gate = _load_gate()
+        rows = self._serving_rows(2.0)
+        rows[1]["parity_max_rel_err"] = 1e-6
+        payload = {"schema_version": 1, "results": rows}
+        failures, _ = gate.check(
+            payload, payload, min_e2e_speedup=0.0, min_train_speedup=0.0,
+            min_matrix_speedup=0.0, min_serve_speedup=1.5,
+        )
+        assert any("exact bitwise parity" in f for f in failures)
+
+    def test_serve_floor_requires_rows(self):
+        gate = _load_gate()
+        payload = {"schema_version": 1, "results": []}
+        failures, _ = gate.check(
+            payload, payload, min_e2e_speedup=0.0, min_train_speedup=0.0,
+            min_matrix_speedup=0.0, min_serve_speedup=1.5,
+        )
+        assert any("serve throughput floor" in f and "no " in f for f in failures)
+
+    def test_serve_floor_defaults_off_in_check(self):
+        # baseline-only payloads (no serving rows) must stay valid for
+        # check() callers that predate the serving benchmark; the CLI is
+        # what turns the floor on (default 1.5)
+        gate = _load_gate()
+        payload = {"schema_version": 1, "results": []}
+        failures, _ = gate.check(
+            payload, payload, min_e2e_speedup=0.0, min_train_speedup=0.0,
+            min_matrix_speedup=0.0,
+        )
+        assert failures == []
+
+    def test_committed_baseline_meets_serve_floor(self):
+        gate = _load_gate()
+        payload = gate.load(str(REPO_ROOT / "benchmarks" / "baseline_kernels.json"))
+        rows = gate.index_rows(payload)
+        serving = [
+            r for (k, _, b), r in rows.items()
+            if k == "serving_throughput" and b == "batched"
+        ]
+        assert serving, "baseline has no serving_throughput batched rows"
+        assert all(r["speedup"] >= 1.5 for r in serving)
+        assert all(r["parity_max_rel_err"] == 0.0 for r in serving)

@@ -1,0 +1,71 @@
+"""Tests for the synthetic serving workload generator and the structure cache."""
+
+import numpy as np
+import pytest
+
+from repro.serve import DEFAULT_MIX, StructureCache, synthetic_workload
+
+
+class TestSyntheticWorkload:
+    def test_deterministic_in_seed(self):
+        a = synthetic_workload(8, seed=3)
+        b = synthetic_workload(8, seed=3)
+        for x, y in zip(a, b):
+            assert x.mechanism == y.mechanism
+            assert x.q.tobytes() == y.q.tobytes()
+            assert x.arrival_offset_s == y.arrival_offset_s
+        c = synthetic_workload(8, seed=4)
+        assert any(x.q.tobytes() != y.q.tobytes() for x, y in zip(a, c))
+
+    def test_arrivals_are_monotone(self):
+        requests = synthetic_workload(32, seed=0)
+        arrivals = [r.arrival_offset_s for r in requests]
+        assert arrivals == sorted(arrivals)
+        assert arrivals[-1] > 0.0
+
+    def test_zero_rate_disables_gaps(self):
+        requests = synthetic_workload(4, rate_rps=0.0)
+        assert all(r.arrival_offset_s == 0.0 for r in requests)
+
+    def test_mix_and_lengths_covered(self):
+        requests = synthetic_workload(64, seq_lens=(32, 64), seed=1)
+        assert {r.mechanism for r in requests} == {m for m, _ in DEFAULT_MIX}
+        assert {r.seq_len for r in requests} == {32, 64}
+        assert all(r.q.dtype == np.float32 for r in requests)
+        assert all(r.request_id == f"r{i}" for i, r in enumerate(requests))
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError, match="n_requests"):
+            synthetic_workload(-1)
+
+
+class TestStructureCache:
+    def test_miss_builds_once_then_hits(self):
+        cache = StructureCache()
+        calls = []
+        for _ in range(3):
+            value = cache.get("key", lambda: calls.append(1) or "built")
+        assert value == "built"
+        assert len(calls) == 1
+        assert cache.stats() == {"hits": 2, "misses": 1, "entries": 1}
+
+    def test_lru_eviction_respects_recency(self):
+        cache = StructureCache(max_entries=2)
+        cache.get("a", lambda: "A")
+        cache.get("b", lambda: "B")
+        cache.get("a", lambda: "A")   # refresh a
+        cache.get("c", lambda: "C")   # evicts b
+        assert "a" in cache and "c" in cache and "b" not in cache
+        assert len(cache) == 2
+
+    def test_clear_resets_counters(self):
+        cache = StructureCache()
+        cache.get("a", lambda: "A")
+        cache.get("a", lambda: "A")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats() == {"hits": 0, "misses": 0, "entries": 0}
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError, match="max_entries"):
+            StructureCache(max_entries=0)
