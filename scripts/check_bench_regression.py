@@ -34,7 +34,20 @@ Exit status 0 means "ship it"; 1 means at least one check failed:
   (batched requests/sec over sequential requests/sec on the synthetic mixed
   workload) dropped below the absolute floor (CLI default 1.5x, the serving
   acceptance criterion; ``check()`` defaults it off so baseline-only
-  payloads stay valid).
+  payloads stay valid);
+* **softmax floor** — a fast ``masked_softmax`` / ``masked_softmax_csr`` row
+  fell below the absolute floor over the streaming reference oracle (CLI
+  default 1.0x: the batched softmax must never lose to the chunked loop it
+  replaces; ``check()`` defaults it off);
+* **fused floor** — an ``attention_fused`` / ``attention_fused_train``
+  ``fused`` row fell below the absolute floor over its ``staged`` arm (CLI
+  default 1.0x: the compiled plan must never lose to the three-kernel
+  staged pipeline it fuses; ``check()`` defaults it off).
+
+Kernels in ``EXACT_PARITY_KERNELS`` (serving coalescing and the fused plan)
+are held to *bitwise* parity — their parity column must be exactly 0.0, not
+merely under the tolerance — because their baselines are the same kernels on
+the same inputs, so any difference is a semantics change, never rounding.
 
 Fresh rows with no baseline counterpart — newly added kernels or mechanisms —
 are *skipped with a warning* rather than failing (or KeyError-ing), so adding
@@ -112,6 +125,16 @@ BAND_MASK_MECHANISMS = ("local", "longformer")
 #: them, so a real regression in the production path is still caught.
 REGIME_SENSITIVE_ORACLES = ("sddmm_csr", "spmm_csr")
 
+#: Kernels whose non-baseline arm must be *bitwise* identical to its baseline
+#: arm: serving coalescing (batched vs sequential) and the compiled fused
+#: plan (fused vs staged) run the same kernels on the same inputs, so any
+#: nonzero parity is a semantics change rather than rounding noise.
+EXACT_PARITY_KERNELS = {
+    "serving_throughput": "serving requires exact bitwise parity",
+    "attention_fused": "the fused plan must be bitwise-identical to staged",
+    "attention_fused_train": "the fused plan must be bitwise-identical to staged",
+}
+
 
 def check(
     fresh_payload: Dict,
@@ -122,6 +145,8 @@ def check(
     min_train_speedup: float = 2.0,
     min_matrix_speedup: float = 1.0,
     min_serve_speedup: float = 0.0,
+    min_softmax_speedup: float = 0.0,
+    min_fused_speedup: float = 0.0,
     warnings: Optional[List[str]] = None,
 ) -> Tuple[List[str], float]:
     """Return ``(failure messages, machine factor)``; no failures means pass.
@@ -140,13 +165,13 @@ def check(
             failures.append(f"coverage: baseline row {key} missing from fresh results")
     for key, row in sorted(fresh.items()):
         err = row.get("parity_max_rel_err")
-        if key[0] == "serving_throughput":
-            # coalescing must be bitwise-invisible per request: the batched
-            # row's parity is required to be exactly zero, not just small
+        if key[0] in EXACT_PARITY_KERNELS:
+            # these arms run the same kernels on the same inputs as their
+            # baseline arm: parity is required to be exactly zero, not small
             if err is not None and err != 0.0:
                 failures.append(
-                    f"parity: {key} batched output differs from sequential by "
-                    f"{err:.2e} (serving requires exact bitwise parity)"
+                    f"parity: {key} differs from its baseline arm by "
+                    f"{err:.2e} ({EXACT_PARITY_KERNELS[key[0]]})"
                 )
         elif err is not None and err > parity_tol:
             failures.append(
@@ -190,6 +215,10 @@ def check(
          "train matrix floor"),
         ("serving_throughput", "batched", min_serve_speedup,
          "serve throughput floor"),
+        ("masked_softmax", "fast", min_softmax_speedup, "softmax floor"),
+        ("masked_softmax_csr", "fast", min_softmax_speedup, "softmax floor"),
+        ("attention_fused", "fused", min_fused_speedup, "fused floor"),
+        ("attention_fused_train", "fused", min_fused_speedup, "fused floor"),
     )
     for kernel_name, floor_backend, floor, label in floors:
         if floor <= 0:
@@ -245,6 +274,14 @@ def main(argv=None) -> int:
                         help="absolute floor for the serving_throughput batched "
                              "requests/sec ratio over sequential serving "
                              "(0 disables; default 1.5)")
+    parser.add_argument("--min-softmax-speedup", type=float, default=1.0,
+                        help="absolute floor for the fast masked_softmax and "
+                             "masked_softmax_csr speedups over the streaming "
+                             "reference oracle (0 disables; default 1.0)")
+    parser.add_argument("--min-fused-speedup", type=float, default=1.0,
+                        help="absolute floor for the attention_fused and "
+                             "attention_fused_train fused-over-staged speedups "
+                             "(0 disables; default 1.0)")
     parser.add_argument("--update-baseline", action="store_true",
                         help="on success, overwrite the baseline with the fresh results")
     args = parser.parse_args(argv)
@@ -261,6 +298,8 @@ def main(argv=None) -> int:
         min_train_speedup=args.min_train_speedup,
         min_matrix_speedup=args.min_matrix_speedup,
         min_serve_speedup=args.min_serve_throughput,
+        min_softmax_speedup=args.min_softmax_speedup,
+        min_fused_speedup=args.min_fused_speedup,
         warnings=warnings,
     )
     print(f"perf gate: {len(fresh_payload.get('results', []))} fresh rows vs "

@@ -14,6 +14,7 @@ Larger problem, one kernel, more repeats::
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 
 from repro.bench.report import format_table, results_to_payload, write_payload
@@ -21,16 +22,19 @@ from repro.bench.runner import (
     ALL_BENCH_KERNELS,
     BENCH_KERNELS,
     CSR_BENCH_KERNELS,
+    FUSED_BENCH_KERNELS,
     SERVING_KERNEL,
     TRAIN_MATRIX_KERNEL,
     SCALE_SHAPES,
     BenchShape,
     run_benchmarks,
     run_csr_benchmarks,
+    run_fused_benchmarks,
     run_serving_benchmark,
     run_train_matrix,
 )
 from repro.core.backend import available_backends
+from repro.core.plan import KNOWN_PIPELINES, use_pipeline
 
 
 def _parse_shape(text: str) -> BenchShape:
@@ -76,6 +80,12 @@ def main(argv=None) -> int:
     parser.add_argument("--serve-batch-size", type=int, default=16,
                         help="max ragged batch size for the serving_throughput "
                              "batched rows (default: 16)")
+    parser.add_argument("--pipeline", default=None, choices=sorted(KNOWN_PIPELINES),
+                        help="attention pipeline scoped around every run: the "
+                             "compiled fused plan or the staged three-kernel "
+                             "oracle (default: the REPRO_PIPELINE env var, "
+                             "else fused); the attention_fused rows always "
+                             "time both arms explicitly")
     parser.add_argument("--backends", nargs="+", default=["reference", "fast"],
                         choices=available_backends(),
                         help="backends to time; the first is the speedup baseline "
@@ -91,7 +101,26 @@ def main(argv=None) -> int:
     selected = tuple(args.kernels) if args.kernels else ALL_BENCH_KERNELS
     classic = [k for k in selected if k in BENCH_KERNELS]
     csr = [k for k in selected if k in CSR_BENCH_KERNELS]
+    fused = [k for k in selected if k in FUSED_BENCH_KERNELS]
 
+    pipeline_scope = (
+        use_pipeline(args.pipeline) if args.pipeline else contextlib.nullcontext()
+    )
+    results = []
+    with pipeline_scope:
+        results += _run_selected(args, classic, csr, fused, selected)
+    print(format_table(results))
+    if args.output:
+        payload = results_to_payload(
+            results, scale=args.scale, repeats=args.repeats,
+            include_timings=args.include_timings,
+        )
+        write_payload(args.output, payload)
+        print(f"\nwrote {len(payload['results'])} rows to {args.output}")
+    return 0
+
+
+def _run_selected(args, classic, csr, fused, selected):
     results = []
     if classic:
         results += run_benchmarks(
@@ -112,6 +141,16 @@ def main(argv=None) -> int:
             window=args.csr_window,
             backends=tuple(args.backends),
             kernels=csr,
+            seed=args.seed,
+            shape=args.shape,
+        )
+    if fused:
+        results += run_fused_benchmarks(
+            scale=args.scale,
+            repeats=args.repeats,
+            warmup=args.warmup,
+            patterns=tuple(args.patterns),
+            kernels=fused,
             seed=args.seed,
             shape=args.shape,
         )
@@ -137,15 +176,7 @@ def main(argv=None) -> int:
             seed=args.seed,
             shape=args.shape,
         )
-    print(format_table(results))
-    if args.output:
-        payload = results_to_payload(
-            results, scale=args.scale, repeats=args.repeats,
-            include_timings=args.include_timings,
-        )
-        write_payload(args.output, payload)
-        print(f"\nwrote {len(payload['results'])} rows to {args.output}")
-    return 0
+    return results
 
 
 if __name__ == "__main__":

@@ -74,6 +74,15 @@ CSR_BENCH_KERNELS = (
     "spmm_t_csr",
 )
 
+#: Fused compiled-plan pipeline vs the staged three-kernel pipeline, both on
+#: the fast backend, produced by :func:`run_fused_benchmarks`.  The ``fused``
+#: row's parity against ``staged`` must be exactly 0.0 (same kernels, same
+#: softmax core — the plan only pre-resolves dispatch and reuses buffers).
+FUSED_BENCH_KERNELS = (
+    "attention_fused",
+    "attention_fused_train",
+)
+
 #: Per-mechanism train-step matrix (sparse compressed path vs dense masked
 #: autograd path) produced by :func:`run_train_matrix`.
 TRAIN_MATRIX_KERNEL = "attention_train_matrix"
@@ -84,7 +93,10 @@ SERVING_KERNEL = "serving_throughput"
 
 #: Everything ``python -m repro.bench`` runs by default.
 ALL_BENCH_KERNELS = (
-    BENCH_KERNELS + CSR_BENCH_KERNELS + (TRAIN_MATRIX_KERNEL, SERVING_KERNEL)
+    BENCH_KERNELS
+    + CSR_BENCH_KERNELS
+    + FUSED_BENCH_KERNELS
+    + (TRAIN_MATRIX_KERNEL, SERVING_KERNEL)
 )
 
 
@@ -278,6 +290,19 @@ def _time_row(
     parity: Optional[float],
 ) -> BenchResult:
     timings = _time(fn, repeats, warmup)
+    return _row_from_timings(
+        kernel, shape_label, backend, timings, baseline_median, parity
+    )
+
+
+def _row_from_timings(
+    kernel: str,
+    shape_label: str,
+    backend: str,
+    timings: List[float],
+    baseline_median: Optional[float],
+    parity: Optional[float],
+) -> BenchResult:
     median = float(np.median(timings))
     if baseline_median is None:
         speedup = 1.0
@@ -292,7 +317,7 @@ def _time_row(
         p90_s=float(np.percentile(timings, 90)),
         speedup=speedup,
         parity_max_rel_err=parity,
-        repeats=repeats,
+        repeats=len(timings),
         timings_s=[float(t) for t in timings],
     )
 
@@ -378,6 +403,105 @@ def run_csr_benchmarks(
             if backend == baseline_backend:
                 baseline_median = row.median_s
             results.append(row)
+    return results
+
+
+def run_fused_benchmarks(
+    scale: str = "smoke",
+    repeats: int = 5,
+    warmup: int = 1,
+    patterns: Sequence[str] = ("1:2", "2:4"),
+    kernels: Optional[Sequence[str]] = None,
+    seed: int = 0,
+    shape: Optional[BenchShape] = None,
+) -> List[BenchResult]:
+    """Fused compiled-plan pipeline vs the staged pipeline, forward and train.
+
+    Both arms run the *fast* kernel backend; what differs is the execution
+    pipeline: ``staged`` dispatches sddmm → masked-softmax → spmm through the
+    registry per call (the parity oracle), ``fused`` executes the compiled
+    :class:`~repro.core.plan.AttentionPlan` — kernels pre-resolved once per
+    plan, the softmax normalising the score buffer in place.  Rows land in
+    ``BENCH_kernels.json`` as ``attention_fused`` (inference forward) and
+    ``attention_fused_train`` (fwd+bwd step on fresh leaf tensors) with the
+    pipeline name in the backend column, mirroring the serving benchmark's
+    ``sequential``/``batched`` convention.  The ``fused`` row's parity against
+    ``staged`` must be exactly 0.0 — the plan runs the same kernel functions
+    over the same values, so any nonzero bit is a fusion bug, never noise.
+
+    The two arms do near-identical work, so their speedup ratio is far more
+    sensitive to host drift than any other row; the repeats are therefore
+    *interleaved* (staged, fused, staged, fused, ...) so a slow episode on a
+    shared box lands on both arms' samples instead of skewing one of them.
+    """
+    from repro.core.plan import FUSED, STAGED
+    from repro.nn.sparse_attention import dfss_sparse_attention
+
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    shape = _resolve_shape(scale, shape)
+    selected = tuple(kernels) if kernels else FUSED_BENCH_KERNELS
+    unknown = set(selected) - set(FUSED_BENCH_KERNELS)
+    if unknown:
+        raise ValueError(
+            f"unknown kernels {sorted(unknown)}; expected {FUSED_BENCH_KERNELS}"
+        )
+
+    results: List[BenchResult] = []
+    for pattern in patterns:
+        resolve_pattern(pattern)  # fail fast on typos
+        rng = new_rng(seed)
+        dims = (shape.batch, shape.heads, shape.seq_len, shape.head_dim)
+        q = rng.normal(size=dims).astype(np.float32)
+        k = rng.normal(size=dims).astype(np.float32)
+        v = rng.normal(size=dims).astype(np.float32)
+
+        def forward(pipeline: str) -> np.ndarray:
+            return dfss_attention(q, k, v, pattern=pattern, pipeline=pipeline)
+
+        def train(pipeline: str) -> np.ndarray:
+            qt = Tensor(q, requires_grad=True)
+            kt = Tensor(k, requires_grad=True)
+            vt = Tensor(v, requires_grad=True)
+            out, _ = dfss_sparse_attention(
+                qt, kt, vt, pattern=pattern, pipeline=pipeline
+            )
+            out.sum().backward()
+            return np.concatenate(
+                [out.data.ravel(), qt.grad.ravel(), kt.grad.ravel(), vt.grad.ravel()]
+            )
+
+        cases: Dict[str, Callable[[str], np.ndarray]] = {
+            "attention_fused": forward,
+            "attention_fused_train": train,
+        }
+        label = shape.label(pattern)
+        for kernel in selected:
+            run = cases[kernel]
+            baseline_out = run(STAGED)
+            parity = _rel_frobenius(run(FUSED), baseline_out)
+            for _ in range(warmup):
+                run(STAGED)
+                run(FUSED)
+            staged_timings: List[float] = []
+            fused_timings: List[float] = []
+            for _ in range(repeats):
+                start = time.perf_counter()
+                run(STAGED)
+                staged_timings.append(time.perf_counter() - start)
+                start = time.perf_counter()
+                run(FUSED)
+                fused_timings.append(time.perf_counter() - start)
+            staged_row = _row_from_timings(
+                kernel, label, STAGED, staged_timings, None, None
+            )
+            results.append(staged_row)
+            results.append(
+                _row_from_timings(
+                    kernel, label, FUSED, fused_timings,
+                    staged_row.median_s, parity,
+                )
+            )
     return results
 
 

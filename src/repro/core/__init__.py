@@ -12,6 +12,10 @@ This package implements the paper's primary contribution:
   (nonzeros, metadata) representation consumed by sparse-tensor-core SpMM;
 * :mod:`repro.core.sddmm`, :mod:`repro.core.softmax`, :mod:`repro.core.spmm` —
   the three attention stages with the fused pruning epilogue;
+* :mod:`repro.core.plan` — the compiled plan/execute layer: an
+  :class:`AttentionPlan` built once per (mechanism, layout, backend, dtype,
+  shape-class) runs the fused sddmm → masked-softmax → spmm chain (and its
+  fused backward) as the one execution entry point every layer shares;
 * :mod:`repro.core.attention` — the ``full_attention`` / ``dfss_attention``
   public API and the :class:`DfssAttention` drop-in object;
 * :mod:`repro.core.attention_grad` — the analytic backward pass of DFSS
@@ -22,19 +26,34 @@ This package implements the paper's primary contribution:
 * :mod:`repro.core.blocked_ell` — hybrid blocked-ELL + N:M sparsity.
 """
 
+import warnings as _warnings
+
 from repro.core.attention import DfssAttention, dfss_attention, full_attention
 from repro.core.attention_grad import (
-    dfss_attention_bwd,
     masked_attention_bwd,
     softmax_grad_compressed,
 )
 from repro.core.backend import (
     available_backends,
     available_kernels,
+    available_plan_backends,
     get_kernel,
+    get_plan_builder,
     register_kernel,
+    register_plan_builder,
     resolve_backend,
     use_backend,
+)
+from repro.core.plan import (
+    AttentionPlan,
+    PlanKey,
+    build_plan,
+    clear_plan_cache,
+    plan_cache_stats,
+    plan_for_nm,
+    plan_for_structure,
+    resolve_pipeline,
+    use_pipeline,
 )
 from repro.core.blocked_ell import (
     BlockedEllMask,
@@ -57,7 +76,38 @@ from repro.core.pruning import nm_compress, nm_decompress, nm_prune_dense, nm_pr
 from repro.core.sddmm import sddmm_csr, sddmm_dense, sddmm_masked, sddmm_nm, sddmm_nm_tiled
 from repro.core.softmax import dense_softmax, sparse_softmax
 from repro.core.sparse import NMSparseMatrix
-from repro.core.spmm import softmax_spmm, spmm, spmm_t
+from repro.core.spmm import spmm, spmm_t
+
+#: Staged kernel entry points the compiled AttentionPlan subsumes: importing
+#: them from ``repro.core`` warns once and forwards to their submodule homes.
+_DEPRECATED_STAGED = {
+    "softmax_spmm": (
+        "repro.core.spmm",
+        "repro.core.softmax_spmm is deprecated; the compiled AttentionPlan "
+        "(repro.core.plan) fuses softmax+SpMM with bitwise-stable semantics — "
+        "import repro.core.spmm.softmax_spmm directly if you need the legacy "
+        "divide-after-contraction kernel",
+    ),
+    "dfss_attention_bwd": (
+        "repro.core.attention_grad",
+        "repro.core.dfss_attention_bwd is deprecated; use "
+        "repro.core.masked_attention_bwd (or AttentionPlan.backward) instead",
+    ),
+}
+_WARNED_STAGED = set()
+
+
+def __getattr__(name):
+    try:
+        module_name, message = _DEPRECATED_STAGED[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    if name not in _WARNED_STAGED:
+        _WARNED_STAGED.add(name)
+        _warnings.warn(message, DeprecationWarning, stacklevel=2)
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
 
 __all__ = [
     "DfssAttention",
@@ -71,10 +121,22 @@ __all__ = [
     "PaddedCSRMatrix",
     "available_backends",
     "available_kernels",
+    "available_plan_backends",
     "get_kernel",
+    "get_plan_builder",
     "register_kernel",
+    "register_plan_builder",
     "resolve_backend",
     "use_backend",
+    "AttentionPlan",
+    "PlanKey",
+    "build_plan",
+    "clear_plan_cache",
+    "plan_cache_stats",
+    "plan_for_nm",
+    "plan_for_structure",
+    "resolve_pipeline",
+    "use_pipeline",
     "BlockedEllMask",
     "bigbird_mask",
     "full_mask",

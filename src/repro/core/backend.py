@@ -30,6 +30,13 @@ Registering a new backend is a one-liner::
 
 after which ``spmm(w, v, backend="gpu")`` (or ``REPRO_BACKEND=gpu``) picks
 it up without touching any call site.
+
+Backends additionally provide *plan builders*: callables that compile a
+:class:`~repro.core.plan.AttentionPlan` for a given plan key, resolving every
+kernel lookup once instead of per call.  ``register_plan_builder`` /
+``get_plan_builder`` mirror the kernel registry and are the seam a future
+multicore-tiling backend plugs into — a new backend registers one builder and
+every layer (autograd op, engine, serving executor, bench) picks it up.
 """
 
 from __future__ import annotations
@@ -52,6 +59,8 @@ ENV_VAR = "REPRO_BACKEND"
 
 _REGISTRY: Dict[str, Dict[str, Callable]] = {}
 _OVERRIDE: Optional[str] = None
+
+_PLAN_BUILDERS: Dict[str, Callable] = {}
 
 
 def register_kernel(kernel: str, backend: str) -> Callable[[Callable], Callable]:
@@ -113,6 +122,37 @@ def get_kernel(kernel: str, backend: Optional[str] = None) -> Callable:
             f"available: {available_backends(kernel)}"
         )
     return impls[name]
+
+
+def register_plan_builder(backend: str) -> Callable[[Callable], Callable]:
+    """Decorator registering ``fn`` as the plan builder for ``backend``.
+
+    A plan builder takes a :class:`~repro.core.plan.PlanKey` and returns a
+    compiled :class:`~repro.core.plan.AttentionPlan` with every kernel lookup
+    already resolved.
+    """
+
+    def decorator(fn: Callable) -> Callable:
+        _PLAN_BUILDERS[backend] = fn
+        return fn
+
+    return decorator
+
+
+def available_plan_backends() -> Tuple[str, ...]:
+    """Backends that provide a compiled-plan builder."""
+    return tuple(sorted(_PLAN_BUILDERS))
+
+
+def get_plan_builder(backend: Optional[str] = None) -> Callable:
+    """Look up the plan builder for the resolved ``backend``."""
+    name = resolve_backend(backend)
+    if name not in _PLAN_BUILDERS:
+        raise ValueError(
+            f"backend {name!r} provides no plan builder; "
+            f"available: {available_plan_backends()}"
+        )
+    return _PLAN_BUILDERS[name]
 
 
 @contextmanager

@@ -1,0 +1,359 @@
+"""Compiled plan/execute layer: one fused sddmm → masked-softmax → spmm pass.
+
+The paper's pipeline wins only when the whole chain — score computation,
+masked softmax, and the value contraction — runs on the compressed
+representation without materialising dense intermediates.  Executing the
+chain as three separately-dispatched registry kernels pays the dispatch and
+an extra full-size probability tensor between every pair of stages.  This
+module compiles the chain once instead:
+
+* :class:`PlanKey` — the cache key: (mechanism, layout, backend, dtype,
+  shape-class).  Everything that changes which kernels run or how buffers are
+  sized, and nothing that doesn't (batch shape is deliberately absent — one
+  plan serves every batch of the same per-slice geometry).
+* :class:`AttentionPlan` — the compiled object: every registry lookup is
+  resolved at construction, the forward runs sddmm → softmax → spmm in a
+  single pass that reuses the score buffer as the probability buffer (the
+  intermediate dense score tensor is never materialised — scores live only in
+  the compressed value array, which the softmax overwrites in place), and the
+  matching fused backward dispatches straight into the resolved
+  ``attention_bwd`` kernel.
+* :func:`plan_for_nm` / :func:`plan_for_structure` — the cached constructors
+  every layer shares: the autograd ops, ``engine.AttentionEngine``, the
+  serving executor, and the bench runner.
+
+Backends provide plans through :func:`~repro.core.backend.register_plan_builder`
+(the seam a future multicore-tiling backend plugs into): ``fast`` builds
+fused plans, ``reference`` builds staged plans that dispatch the ordinary
+kernels stage by stage and act as the parity oracle.
+
+Bitwise parity with the staged pipeline is by construction, not by accident:
+the fused plan calls the *same* registered kernel functions and the same
+softmax core (:func:`~repro.core.softmax.masked_softmax_values`) as the
+staged path; it differs only in pre-resolved dispatch and in-place buffer
+reuse, both of which are bit-exact transformations.
+
+Pipeline selection mirrors backend selection, in decreasing priority: the
+``pipeline=...`` argument on entry points that accept one, an active
+:func:`use_pipeline` context, the ``REPRO_PIPELINE`` environment variable,
+and the default ``"fused"``.  ``pipeline="staged"`` keeps the pre-plan
+three-kernel path runnable as the parity oracle.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.core.backend import (
+    FAST,
+    REFERENCE,
+    get_kernel,
+    get_plan_builder,
+    register_plan_builder,
+    resolve_backend,
+)
+from repro.core.patterns import resolve_pattern
+from repro.core.softmax import masked_softmax_values
+
+#: Canonical pipeline names.
+FUSED = "fused"
+STAGED = "staged"
+KNOWN_PIPELINES = (FUSED, STAGED)
+
+#: Pipeline used when neither an argument, a context, nor the environment
+#: variable selects one.
+DEFAULT_PIPELINE = FUSED
+
+#: Environment variable consulted by :func:`resolve_pipeline`.
+PIPELINE_ENV_VAR = "REPRO_PIPELINE"
+
+_PIPELINE_OVERRIDE: Optional[str] = None
+
+
+def resolve_pipeline(pipeline: Optional[str] = None) -> str:
+    """Resolve a pipeline name from argument, context, environment, or default."""
+    if pipeline is None:
+        pipeline = _PIPELINE_OVERRIDE
+    if pipeline is None:
+        pipeline = os.environ.get(PIPELINE_ENV_VAR) or DEFAULT_PIPELINE
+    name = str(pipeline).strip().lower()
+    if name not in KNOWN_PIPELINES:
+        raise ValueError(
+            f"unknown pipeline {pipeline!r}; expected one of "
+            f"{'|'.join(KNOWN_PIPELINES)} (selectable via a pipeline= argument "
+            f"or ${PIPELINE_ENV_VAR})"
+        )
+    return name
+
+
+@contextmanager
+def use_pipeline(pipeline: str) -> Iterator[None]:
+    """Context manager selecting the execution pipeline inside the block.
+
+    Explicit ``pipeline=`` arguments still win; the environment variable is
+    shadowed for the duration of the block.
+    """
+    global _PIPELINE_OVERRIDE
+    name = str(pipeline).strip().lower()
+    if name not in KNOWN_PIPELINES:
+        raise ValueError(
+            f"unknown pipeline {pipeline!r}; expected one of "
+            f"{'|'.join(KNOWN_PIPELINES)}"
+        )
+    previous = _PIPELINE_OVERRIDE
+    _PIPELINE_OVERRIDE = name
+    try:
+        yield
+    finally:
+        _PIPELINE_OVERRIDE = previous
+
+
+@dataclass(frozen=True)
+class PlanKey:
+    """Cache key of a compiled plan.
+
+    ``mechanism`` names the structure source (``"dfss_1:2"``-style for the
+    dynamic N:M epilogue, the mechanism name for mask-based layouts),
+    ``layout`` is ``"nm"`` or ``"csr"``, and ``shape_class`` is the
+    batch-agnostic per-slice geometry ``(rows, dense_cols, lane_width)`` —
+    one plan serves every batch shape over the same geometry.
+    """
+
+    mechanism: str
+    layout: str
+    backend: str
+    dtype: str
+    shape_class: Tuple[int, int, int]
+
+
+class AttentionPlan:
+    """A compiled sddmm → masked-softmax → spmm chain with fused backward.
+
+    Every registry lookup happens once, at construction.  ``fused=True``
+    (the fast builder) runs the softmax in place on the compressed score
+    buffer — the probabilities overwrite the scores, so no intermediate
+    tensor is ever allocated between the stages; ``fused=False`` (the
+    reference builder) dispatches the registered staged kernels and is the
+    oracle the parity suite compares against.
+    """
+
+    def __init__(self, key: PlanKey, fused: bool) -> None:
+        self.key = key
+        self.fused = fused
+        backend = key.backend
+        if key.layout == "nm":
+            self._sddmm = get_kernel("sddmm_nm", backend)
+            self._pattern = resolve_pattern(key.mechanism.split("_", 1)[1])
+        elif key.layout == "csr":
+            self._sddmm = get_kernel("sddmm_csr", backend)
+            self._pattern = None
+        else:
+            raise ValueError(f"unknown plan layout {key.layout!r}")
+        self._softmax = get_kernel("masked_softmax", backend)
+        self._spmm = get_kernel("spmm", backend)
+        self._bwd = get_kernel("attention_bwd", backend)
+
+    # ------------------------------------------------------------------ fwd
+    def compute_scores(
+        self,
+        q: np.ndarray,
+        k: np.ndarray,
+        structure=None,
+        scale: Optional[float] = None,
+        criterion: str = "value",
+        block_mask=None,
+    ):
+        """Stage 1: compressed scores (fused SDDMM + prune, or masked SDDMM)."""
+        if self.key.layout == "nm":
+            return self._sddmm(
+                q,
+                k,
+                pattern=self._pattern,
+                scale=scale,
+                dtype=self.key.dtype,
+                criterion=criterion,
+                block_mask=block_mask,
+            )
+        if structure is None:
+            raise ValueError("csr plans need the compressed structure to score into")
+        return self._sddmm(q, k, structure, scale=scale)
+
+    def compute_probs(self, scores, owned: bool = True):
+        """Stage 2: masked softmax over the stored nonzeros.
+
+        Fused plans normalise *in place*, reusing the score value buffer as
+        the probability buffer; pass ``owned=False`` when the caller still
+        needs the score values (e.g. precomputed Top-K scores), in which case
+        exactly one copy is taken first.  Bitwise-identical to the staged
+        softmax kernel either way — same core, different buffer.
+        """
+        if not self.fused:
+            return self._softmax(scores)
+        buf = scores.values
+        if not owned or not buf.flags.writeable or not buf.flags.c_contiguous:
+            buf = np.array(buf, dtype=np.float32)
+        valid = scores.valid_lanes()
+        lengths = None if valid is None else scores.row_lengths()
+        masked_softmax_values(buf, valid, lengths, out=buf)
+        return scores.with_values(buf)
+
+    def contract(
+        self,
+        probs,
+        v: np.ndarray,
+        drop_keep: Optional[np.ndarray] = None,
+        save_scatter: bool = False,
+    ) -> np.ndarray:
+        """Stage 3: the value contraction ``P @ V`` (after optional dropout).
+
+        ``save_scatter=True`` caches the scattered dense probability tile on
+        the layout so the fused backward reuses it — one metadata walk per
+        training step.
+        """
+        if save_scatter:
+            probs.to_scattered(cache=True)
+        applied = (
+            probs if drop_keep is None else probs.with_values(probs.values * drop_keep)
+        )
+        return self._spmm(applied, v)
+
+    # ------------------------------------------------------------------ bwd
+    def backward(
+        self,
+        probs,
+        q: np.ndarray,
+        k: np.ndarray,
+        v: np.ndarray,
+        d_out: np.ndarray,
+        scale: float,
+        drop_keep: Optional[np.ndarray] = None,
+        out: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Fused backward: ``(dQ, dK, dV)`` via the resolved ``attention_bwd``."""
+        return self._bwd(probs, q, k, v, d_out, scale, drop_keep, out)
+
+    # ------------------------------------------------------------ end-to-end
+    def forward(
+        self,
+        q: np.ndarray,
+        k: np.ndarray,
+        v: np.ndarray,
+        structure=None,
+        scale: Optional[float] = None,
+        criterion: str = "value",
+        block_mask=None,
+        return_probs: bool = False,
+    ):
+        """Single-pass fused forward over the whole chain."""
+        scores = self.compute_scores(
+            q, k, structure=structure, scale=scale,
+            criterion=criterion, block_mask=block_mask,
+        )
+        probs = self.compute_probs(scores)
+        out = self.contract(probs, v)
+        if return_probs:
+            return out, probs
+        return out
+
+    def __call__(self, q, k, v, **kwargs):
+        return self.forward(q, k, v, **kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        mode = "fused" if self.fused else "staged"
+        return f"AttentionPlan({self.key!r}, {mode})"
+
+
+@register_plan_builder(FAST)
+def _build_fast_plan(key: PlanKey) -> AttentionPlan:
+    """Fast backend: fused single-pass plan with in-place softmax."""
+    return AttentionPlan(key, fused=True)
+
+
+@register_plan_builder(REFERENCE)
+def _build_reference_plan(key: PlanKey) -> AttentionPlan:
+    """Reference backend: staged plan dispatching the loop-oracle kernels."""
+    return AttentionPlan(key, fused=False)
+
+
+# --------------------------------------------------------------------- cache
+_PLAN_CACHE: "OrderedDict[PlanKey, AttentionPlan]" = OrderedDict()
+_PLAN_CACHE_MAX = 64
+_PLAN_STATS: Dict[str, int] = {"hits": 0, "misses": 0}
+
+
+def build_plan(key: PlanKey) -> AttentionPlan:
+    """Compile a plan for ``key`` via its backend's registered builder (uncached)."""
+    return get_plan_builder(key.backend)(key)
+
+
+def get_plan(key: PlanKey) -> AttentionPlan:
+    """Cached plan lookup: compile once per key, LRU-evict beyond the cap."""
+    plan = _PLAN_CACHE.get(key)
+    if plan is not None:
+        _PLAN_CACHE.move_to_end(key)
+        _PLAN_STATS["hits"] += 1
+        return plan
+    _PLAN_STATS["misses"] += 1
+    plan = build_plan(key)
+    _PLAN_CACHE[key] = plan
+    while len(_PLAN_CACHE) > _PLAN_CACHE_MAX:
+        _PLAN_CACHE.popitem(last=False)
+    return plan
+
+
+def plan_for_nm(
+    pattern,
+    rows: int,
+    dense_cols: int,
+    backend: Optional[str] = None,
+    dtype: str = "float32",
+) -> AttentionPlan:
+    """Cached plan for the dynamic N:M pipeline on a given per-slice geometry."""
+    pattern = resolve_pattern(pattern)
+    key = PlanKey(
+        mechanism=f"dfss_{pattern.name}",
+        layout="nm",
+        backend=resolve_backend(backend),
+        dtype=dtype,
+        shape_class=(int(rows), int(dense_cols), pattern.kept(int(dense_cols))),
+    )
+    return get_plan(key)
+
+
+def plan_for_structure(
+    structure,
+    backend: Optional[str] = None,
+    mechanism: str = "masked",
+    dtype: str = "float32",
+) -> AttentionPlan:
+    """Cached plan for a mask-based compressed structure (padded CSR)."""
+    key = PlanKey(
+        mechanism=str(mechanism),
+        layout="csr",
+        backend=resolve_backend(backend),
+        dtype=dtype,
+        shape_class=(
+            int(structure.rows),
+            int(structure.dense_cols),
+            int(structure.values.shape[-1]),
+        ),
+    )
+    return get_plan(key)
+
+
+def clear_plan_cache() -> None:
+    """Drop every cached plan and reset the hit/miss counters."""
+    _PLAN_CACHE.clear()
+    _PLAN_STATS["hits"] = 0
+    _PLAN_STATS["misses"] = 0
+
+
+def plan_cache_stats() -> Dict[str, int]:
+    """Snapshot of the plan cache: ``{"size", "hits", "misses"}``."""
+    return {"size": len(_PLAN_CACHE), **_PLAN_STATS}

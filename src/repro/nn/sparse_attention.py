@@ -34,6 +34,13 @@ from repro.core.blocked_ell import BlockedEllMask
 from repro.core.layout import CompressedLayout, dense_positions
 from repro.core.padded_csr import PaddedCSRMatrix
 from repro.core.patterns import resolve_pattern
+from repro.core.plan import (
+    FUSED,
+    AttentionPlan,
+    plan_for_nm,
+    plan_for_structure,
+    resolve_pipeline,
+)
 from repro.core.sddmm import sddmm_csr, sddmm_nm
 from repro.core.softmax import sparse_softmax
 from repro.core.sparse import NMSparseMatrix
@@ -53,11 +60,15 @@ def _compressed_attention_node(
     dropout_rng: Optional[np.random.Generator],
     training: bool,
     name: str,
+    plan: Optional[AttentionPlan] = None,
 ) -> Tensor:
     """Finish the pipeline from compressed probabilities: dropout, SpMM, backward.
 
     This is the layout-independent half shared by the N:M and padded-CSR
-    ops; ``probs`` is the compressed (pre-dropout) probability matrix.
+    ops; ``probs`` is the compressed (pre-dropout) probability matrix.  When
+    ``plan`` is given the SpMM and the backward dispatch through its
+    pre-resolved kernels (bitwise-identical functions — the registry would
+    resolve to the same objects) instead of per-call registry lookups.
     """
     if resolve_backend(backend) != REFERENCE:
         # one metadata walk per step: the forward SpMM and the backward
@@ -76,17 +87,27 @@ def _compressed_attention_node(
         drop_keep = attention_dropout_keep(
             draw_dropout_seed(dropout_rng), dropout_p, dense_positions(probs)
         )
-        applied = probs.with_values(probs.values * drop_keep)
+    if plan is not None:
+        out_data = plan.contract(probs, v.data, drop_keep=drop_keep)
     else:
-        applied = probs
-    out_data = spmm(applied, v.data, backend=backend)
+        applied = (
+            probs if drop_keep is None
+            else probs.with_values(probs.values * drop_keep)
+        )
+        out_data = spmm(applied, v.data, backend=backend)
 
     def backward(out):
         def fn():
-            d_q, d_k, d_v = masked_attention_bwd(
-                probs, q.data, k.data, v.data, out.grad, scale,
-                drop_keep=drop_keep, out=out.data, backend=backend,
-            )
+            if plan is not None:
+                d_q, d_k, d_v = plan.backward(
+                    probs, q.data, k.data, v.data, out.grad, scale,
+                    drop_keep=drop_keep, out=out.data,
+                )
+            else:
+                d_q, d_k, d_v = masked_attention_bwd(
+                    probs, q.data, k.data, v.data, out.grad, scale,
+                    drop_keep=drop_keep, out=out.data, backend=backend,
+                )
             if q.requires_grad:
                 q._accumulate(d_q)
             if k.requires_grad:
@@ -110,6 +131,7 @@ def dfss_sparse_attention(
     dropout_p: float = 0.0,
     dropout_rng: Optional[np.random.Generator] = None,
     training: bool = False,
+    pipeline: Optional[str] = None,
 ) -> Tuple[Tensor, NMSparseMatrix]:
     """Differentiable DFSS attention on the compressed N:M pipeline.
 
@@ -141,6 +163,11 @@ def dfss_sparse_attention(
         (:func:`repro.utils.seeding.attention_dropout_keep`), so a seeded run
         through this op and one through the dense escape hatch drop the same
         (row, column) entries.
+    pipeline:
+        "fused" (default) executes through a compiled cached
+        :class:`~repro.core.plan.AttentionPlan` — pre-resolved kernels, score
+        buffer reused in place; "staged" dispatches the three registry
+        kernels per call (the bitwise parity oracle).
 
     Returns
     -------
@@ -154,14 +181,22 @@ def dfss_sparse_attention(
         scale = 1.0 / np.sqrt(d)
     scale = float(scale)
 
-    scores = sddmm_nm(
-        q.data, k.data, pattern=pattern, scale=scale, block_mask=block_mask,
-        backend=backend,
-    )
-    probs = sparse_softmax(scores, backend=backend)
+    plan: Optional[AttentionPlan] = None
+    if resolve_pipeline(pipeline) == FUSED:
+        plan = plan_for_nm(pattern, q.shape[-2], k.shape[-2], backend=backend)
+        scores = plan.compute_scores(
+            q.data, k.data, scale=scale, block_mask=block_mask
+        )
+        probs = plan.compute_probs(scores)
+    else:
+        scores = sddmm_nm(
+            q.data, k.data, pattern=pattern, scale=scale, block_mask=block_mask,
+            backend=backend,
+        )
+        probs = sparse_softmax(scores, backend=backend)
     out = _compressed_attention_node(
         q, k, v, probs, scale, backend,
-        dropout_p, dropout_rng, training, "dfss_attention",
+        dropout_p, dropout_rng, training, "dfss_attention", plan=plan,
     )
     return out, probs
 
@@ -177,6 +212,7 @@ def masked_sparse_attention(
     dropout_rng: Optional[np.random.Generator] = None,
     training: bool = False,
     scores: Optional[PaddedCSRMatrix] = None,
+    pipeline: Optional[str] = None,
 ) -> Tuple[Tensor, PaddedCSRMatrix]:
     """Differentiable masked attention on the compressed padded-CSR pipeline.
 
@@ -215,6 +251,10 @@ def masked_sparse_attention(
         Mechanisms that already computed the dense score matrix to choose
         their mask (Top-K) pass it here so the op skips its SDDMM instead of
         paying the score GEMM a second time.
+    pipeline:
+        "fused" (default) executes through a compiled cached
+        :class:`~repro.core.plan.AttentionPlan`; "staged" dispatches the
+        registry kernels per call (the bitwise parity oracle).
 
     Returns
     -------
@@ -239,16 +279,27 @@ def masked_sparse_attention(
         # re-run the argsort on every identical leading slice
         structure = PaddedCSRMatrix.from_mask(mask).broadcast_to(batch_shape)
 
-    if scores is None:
-        scores = sddmm_csr(q.data, k.data, structure, scale=scale, backend=backend)
+    plan: Optional[AttentionPlan] = None
+    if resolve_pipeline(pipeline) == FUSED:
+        plan = plan_for_structure(structure, backend=backend)
+    prescored = scores is not None
+    if not prescored:
+        if plan is not None:
+            scores = plan.compute_scores(q.data, k.data, structure, scale=scale)
+        else:
+            scores = sddmm_csr(q.data, k.data, structure, scale=scale, backend=backend)
     elif scores.values.shape != structure.values.shape:
         raise ValueError(
             f"precomputed scores shape {scores.values.shape} does not share "
             f"the mask structure {structure.values.shape}"
         )
-    probs = sparse_softmax(scores, backend=backend)
+    if plan is not None:
+        # caller-provided score buffers must survive: owned=False copies once
+        probs = plan.compute_probs(scores, owned=not prescored)
+    else:
+        probs = sparse_softmax(scores, backend=backend)
     out = _compressed_attention_node(
         q, k, v, probs, scale, backend,
-        dropout_p, dropout_rng, training, "masked_attention",
+        dropout_p, dropout_rng, training, "masked_attention", plan=plan,
     )
     return out, probs

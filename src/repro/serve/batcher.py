@@ -26,7 +26,7 @@ import numpy as np
 from repro.core.layout import SequenceSegments
 from repro.core.padded_csr import PaddedCSRMatrix
 from repro.serve.cache import StructureCache
-from repro.serve.executor import grouped_attention, ragged_attention
+from repro.serve.executor import grouped_attention, grouped_plan, ragged_attention
 
 __all__ = [
     "Segment",
@@ -80,6 +80,13 @@ def structure_cache_key(
     )
 
 
+def _compile_structure(mask: np.ndarray) -> PaddedCSRMatrix:
+    """Compress a static mask and pre-compile its grouped execution plan."""
+    structure = PaddedCSRMatrix.from_mask(np.asarray(mask, dtype=bool))
+    grouped_plan(structure)  # memoised on the structure's shared cache
+    return structure
+
+
 def _flatten(request) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Reshape the request tensors to ``(n_segments, seq, d)``."""
     q, k, v = request.q, request.k, request.v
@@ -130,10 +137,13 @@ def prepare_request(request, engine, cache: StructureCache) -> PreparedRequest:
         key = structure_cache_key(spec.name, engine.config, n_q, n_k)
         cache_hit = key in cache
         # the mask depends only on (config, lengths): one representative 2-D
-        # slice builds the structure every segment of every request shares
+        # slice builds the structure every segment of every request shares,
+        # and the grouped execution plan is compiled right here so the cached
+        # entry carries it — batch flushes reuse the plan instead of
+        # recomputing the lane geometry per batch
         shared = cache.get(
             key,
-            lambda: PaddedCSRMatrix.from_mask(engine.attention_mask(q3[0], k3[0])),
+            lambda: _compile_structure(engine.attention_mask(q3[0], k3[0])),
         )
         structures = [shared] * n_seg
     else:

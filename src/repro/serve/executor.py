@@ -32,6 +32,7 @@ paths are tested against and the spelled-out semantics of the pipeline.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
 import numpy as np
@@ -44,6 +45,8 @@ __all__ = [
     "ragged_masked_softmax",
     "ragged_spmm",
     "ragged_attention",
+    "GroupedPlan",
+    "grouped_plan",
     "grouped_attention",
 ]
 
@@ -211,6 +214,78 @@ def ragged_attention(
     return out
 
 
+@dataclass
+class GroupedPlan:
+    """Compiled lane geometry of one shared 2-D padded-CSR structure.
+
+    The grouped fast path recomputes the same structure-only arrays — the
+    clipped lane columns, the valid-lane mask, the scatter targets — on every
+    batch flush even though they depend only on the (cached, shared)
+    structure.  Compiling them once and memoising the plan on the structure's
+    shared cache (:func:`grouped_plan`) makes the per-batch work pure GEMM +
+    elementwise ops.  The execute path runs the *same arrays through the same
+    op sequence* as the uncompiled formulation, so outputs are
+    bitwise-identical.
+    """
+
+    structure: PaddedCSRMatrix
+    #: lane count clipped to the longest stored row (0 for empty structures).
+    width: int
+    #: ``(rows, width)`` int64 columns, clipped in-range for the score select.
+    cols: Optional[np.ndarray]
+    #: ``(rows, width)`` valid-lane mask over the clipped width.
+    valid: Optional[np.ndarray]
+    #: ``(rows, width)`` scatter targets; padding lanes aim at the trash column.
+    scatter: Optional[np.ndarray]
+
+    @classmethod
+    def compile(cls, structure: PaddedCSRMatrix) -> "GroupedPlan":
+        lengths = structure.lengths
+        n_k = structure.dense_cols
+        width = int(lengths.max()) if structure.rows else 0
+        if width == 0:
+            return cls(structure, 0, None, None, None)
+        cols = np.clip(structure.cols[:, :width], 0, n_k - 1).astype(
+            np.int64, copy=False
+        )
+        valid = np.arange(width, dtype=lengths.dtype) < lengths[:, None]
+        scatter = np.where(valid, cols, np.int64(n_k))
+        return cls(structure, width, cols, valid, scatter)
+
+    def __call__(self, qs: np.ndarray, k3: np.ndarray, v3: np.ndarray) -> np.ndarray:
+        """Stacked attention over pre-scaled queries ``qs`` of shape ``(g, rows, d)``."""
+        g, rows, _ = qs.shape
+        n_k = self.structure.dense_cols
+        if rows == 0 or self.width == 0:
+            return np.zeros((g, rows, v3.shape[-1]), dtype=np.float32)
+        scores_full = np.matmul(qs, k3.transpose(0, 2, 1))
+        scores = np.take_along_axis(scores_full, self.cols[None], axis=2)
+        scores = np.where(self.valid, scores, MASKED_SCORE)
+        peak = scores.max(axis=-1, keepdims=True)
+        exp = np.where(self.valid, np.exp(scores - peak), np.float32(0.0))
+        denom = exp.sum(axis=-1)
+        safe = np.where(denom > np.float32(0.0), denom, np.float32(1.0))
+        probs = exp / safe[..., None]
+        dense_probs = np.zeros((g, rows, n_k + 1), dtype=np.float32)
+        np.put_along_axis(dense_probs, self.scatter[None], probs, axis=2)
+        return np.matmul(dense_probs[:, :, :n_k], v3)
+
+
+def grouped_plan(structure: PaddedCSRMatrix) -> GroupedPlan:
+    """Compiled :class:`GroupedPlan` for ``structure``, memoised on its shared cache.
+
+    The memo lives in the structure's shared cache dictionary, which
+    ``with_values`` siblings share by reference — so a structure resolved
+    through the serving :class:`~repro.serve.cache.StructureCache` carries its
+    compiled plan across every batch (and every request) that reuses it.
+    """
+    plan = structure._shared.get("grouped_plan")
+    if plan is None:
+        plan = GroupedPlan.compile(structure)
+        structure._shared["grouped_plan"] = plan
+    return plan
+
+
 def grouped_attention(
     q3: np.ndarray,
     k3: np.ndarray,
@@ -223,12 +298,13 @@ def grouped_attention(
     ``q3`` is ``(g, rows, d)``, ``k3``/``v3`` are ``(g, dense_cols, ·)``.
     This is the structure-cache fast path: segments of *different requests*
     with the same (mechanism, config, lengths) share the cached structure, so
-    one stacked GEMM pipeline replaces ``g`` separate ones.  A stacked GEMM
-    runs the same per-slice kernel as the 2-D case (the trailing extents the
-    shared structure fixes are what choose the reduction tree), so each slice
-    of the result is bitwise-identical to :func:`ragged_attention` on that
-    slice alone — stacking depth, like batch composition, can never perturb
-    a bit.
+    one stacked GEMM pipeline replaces ``g`` separate ones — and the
+    structure-only lane geometry is compiled once per structure
+    (:func:`grouped_plan`) rather than per batch.  A stacked GEMM runs the
+    same per-slice kernel as the 2-D case (the trailing extents the shared
+    structure fixes are what choose the reduction tree), so each slice of the
+    result is bitwise-identical to :func:`ragged_attention` on that slice
+    alone — stacking depth, like batch composition, can never perturb a bit.
     """
     g, rows, d = q3.shape
     if structure.batch_shape != () or structure.rows != rows:
@@ -242,24 +318,4 @@ def grouped_attention(
     if scale is None:
         scale = 1.0 / np.sqrt(d)
     qs = q3 * np.float32(scale)
-    lengths = structure.lengths
-    n_k = structure.dense_cols
-    width = int(lengths.max()) if rows else 0
-    if rows == 0 or width == 0:
-        return np.zeros((g, rows, v3.shape[-1]), dtype=np.float32)
-    cols = np.clip(structure.cols[:, :width], 0, n_k - 1).astype(
-        np.int64, copy=False
-    )
-    valid = np.arange(width, dtype=lengths.dtype) < lengths[:, None]
-    scores_full = np.matmul(qs, k3.transpose(0, 2, 1))
-    scores = np.take_along_axis(scores_full, cols[None], axis=2)
-    scores = np.where(valid, scores, MASKED_SCORE)
-    peak = scores.max(axis=-1, keepdims=True)
-    exp = np.where(valid, np.exp(scores - peak), np.float32(0.0))
-    denom = exp.sum(axis=-1)
-    safe = np.where(denom > np.float32(0.0), denom, np.float32(1.0))
-    probs = exp / safe[..., None]
-    scatter = np.where(valid, cols, np.int64(n_k))
-    dense_probs = np.zeros((g, rows, n_k + 1), dtype=np.float32)
-    np.put_along_axis(dense_probs, scatter[None], probs, axis=2)
-    return np.matmul(dense_probs[:, :, :n_k], v3)
+    return grouped_plan(structure)(qs, k3, v3)

@@ -1,0 +1,51 @@
+"""Deprecation of the top-level staged kernel entry points the plan subsumes.
+
+``repro.core.softmax_spmm`` and ``repro.core.dfss_attention_bwd`` warn once
+per process and forward to their submodule homes; importing them from the
+submodules directly stays silent.
+"""
+
+import warnings
+
+import pytest
+
+import repro.core
+
+
+def _reset_warn_once(name):
+    repro.core._WARNED_STAGED.discard(name)
+
+
+class TestDeprecatedStagedEntryPoints:
+    @pytest.mark.parametrize(
+        "name, home",
+        [
+            ("softmax_spmm", "repro.core.spmm"),
+            ("dfss_attention_bwd", "repro.core.attention_grad"),
+        ],
+    )
+    def test_warns_once_and_forwards(self, name, home):
+        import importlib
+
+        _reset_warn_once(name)
+        with pytest.warns(DeprecationWarning, match=name):
+            attr = getattr(repro.core, name)
+        assert attr is getattr(importlib.import_module(home), name)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            assert getattr(repro.core, name) is attr  # second access is silent
+
+    def test_submodule_imports_stay_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            from repro.core.attention_grad import dfss_attention_bwd  # noqa: F401
+            from repro.core.spmm import softmax_spmm  # noqa: F401
+
+    def test_unknown_attribute_still_raises(self):
+        with pytest.raises(AttributeError, match="warp_drive"):
+            repro.core.warp_drive
+
+    def test_deprecated_names_stay_in_all(self):
+        # ``from repro.core import *`` keeps working for both names
+        assert "softmax_spmm" in repro.core.__all__
+        assert "dfss_attention_bwd" in repro.core.__all__

@@ -140,3 +140,21 @@ class TestRunRaggedBatch:
         )
         out = run_ragged_batch([_prepare(request, StructureCache())])[0]
         assert out.shape == (32, 16)
+
+
+class TestCachedStructureCarriesPlan:
+    def test_static_mask_cache_entry_is_precompiled(self):
+        rng = np.random.default_rng(42)
+        cache = StructureCache()
+        prepared = _prepare(_request(rng), cache)
+        structure = prepared.segments[0].structure
+        # the cache-fill lambda compiles the grouped plan at enqueue time, so
+        # the flush never pays the lane-geometry setup
+        assert "grouped_plan" in structure._shared
+        from repro.serve.executor import grouped_plan
+
+        plan = structure._shared["grouped_plan"]
+        assert grouped_plan(structure) is plan
+        # a second request hits the cache and reuses the same compiled plan
+        again = _prepare(_request(rng), cache)
+        assert again.segments[0].structure._shared["grouped_plan"] is plan

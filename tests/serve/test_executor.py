@@ -145,3 +145,35 @@ class TestFusedKernels:
             ragged_attention(
                 q, k, v, st, row_blocks=[(0, 8), (8, 16)], key_blocks=[(0, 16)]
             )
+
+
+class TestGroupedPlan:
+    def test_memoised_on_the_structure(self):
+        from repro.serve.executor import grouped_plan
+
+        st = _band_structure(32, 3)
+        plan = grouped_plan(st)
+        assert grouped_plan(st) is plan
+        # with_values siblings share the structure cache by reference, so
+        # the compiled plan survives value rebinds (the serving hot loop)
+        sibling = st.with_values(st.values * 2.0)
+        assert grouped_plan(sibling) is plan
+
+    def test_plan_call_bitwise_equals_grouped_attention(self):
+        from repro.serve.executor import grouped_plan
+
+        rng = np.random.default_rng(9)
+        st = _band_structure(40, 4)
+        q3, k3, v3 = _qkv(rng, 3, 40, 16)
+        scale = 1.0 / np.sqrt(16.0)
+        via_plan = grouped_plan(st)(q3 * np.float32(scale), k3, v3)
+        assert via_plan.tobytes() == grouped_attention(q3, k3, v3, st).tobytes()
+
+    def test_zero_width_structure(self):
+        from repro.serve.executor import grouped_plan
+
+        st = PaddedCSRMatrix.from_mask(np.zeros((8, 8), dtype=bool))
+        rng = np.random.default_rng(10)
+        q3, k3, v3 = _qkv(rng, 2, 8, 4)
+        out = grouped_plan(st)(q3, k3, v3)
+        assert out.shape == (2, 8, 4) and np.all(out == 0.0)
