@@ -1,0 +1,63 @@
+"""CLI: ``python -m repro.analysis [paths…] [--strict] [--json REPORT]``.
+
+Exit status: 0 when clean, 1 when any unwaived error remains (``--strict``
+also fails on warnings).  Findings print one per line as
+``file:line: [RULE] severity: message`` — the format CI surfaces directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.analysis.runner import run_analysis
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "Static analysis for the compressed-attention kernel surface: "
+            "kernel-contract checker (KC rules) and aliasing/in-place "
+            "analyzer (AL rules, waived via '# repro: owns-buffer')."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help=(
+            "files or directories to analyze (default: the repo's src/repro "
+            "tree for contracts plus the buffer-reuse hot modules for aliasing)"
+        ),
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat warnings as failures (CI runs this)",
+    )
+    parser.add_argument(
+        "--json",
+        type=Path,
+        metavar="REPORT",
+        help="also write the machine-readable report (analysis_report.json)",
+    )
+    parser.add_argument(
+        "--no-waivers",
+        action="store_true",
+        help="omit the waiver inventory from the text output",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_analysis(paths=args.paths or None)
+    if args.json is not None:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(report.to_json() + "\n")
+    print(report.format(show_waivers=not args.no_waivers))
+    return 1 if report.failed(strict=args.strict) else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess tests
+    sys.exit(main())

@@ -1,0 +1,118 @@
+"""Finding/waiver data model shared by every analysis pass.
+
+A *finding* is one rule violation anchored to a ``file:line``; a *waiver* is
+a finding that the code explicitly acknowledges with a ``# repro: owns-buffer``
+marker (see :mod:`repro.analysis.aliasing`).  Waived findings stay in the
+report — the whole point of the waiver inventory is that intentional buffer
+reuse is *documented*, not invisible — but they do not fail the run.
+
+Severities
+----------
+``error``
+    Contract violations that must never ship (missing backend, signature
+    drift, dense materialisation in a fast kernel, unwaived in-place
+    mutation).  Any unwaived error makes the analysis exit nonzero.
+``warning``
+    Smells worth reading but not blocking by default (private layout-internal
+    access inside kernels).  ``--strict`` promotes warnings to failures.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+ERROR = "error"
+WARNING = "warning"
+
+#: Marker comment that waives an aliasing/in-place finding on its own line or
+#: the line directly above.  Anything after the marker is kept as the note.
+WAIVER_MARKER = "repro: owns-buffer"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation (or documented waiver) at a source location."""
+
+    rule: str
+    severity: str
+    file: str
+    line: int
+    message: str
+    waived: bool = False
+    waiver_note: str = ""
+
+    def format(self) -> str:
+        tag = " (waived)" if self.waived else ""
+        return f"{self.file}:{self.line}: [{self.rule}] {self.severity}{tag}: {self.message}"
+
+
+@dataclass
+class AnalysisReport:
+    """Aggregated result of every pass, serialisable to ``analysis_report.json``."""
+
+    findings: List[Finding] = field(default_factory=list)
+    #: pass-level bookkeeping (kernels seen, files scanned, …)
+    stats: Dict[str, int] = field(default_factory=dict)
+
+    def extend(self, findings: List[Finding]) -> None:
+        self.findings.extend(findings)
+
+    # ------------------------------------------------------------- selectors
+    @property
+    def active(self) -> List[Finding]:
+        return [f for f in self.findings if not f.waived]
+
+    @property
+    def waivers(self) -> List[Finding]:
+        return [f for f in self.findings if f.waived]
+
+    def errors(self) -> List[Finding]:
+        return [f for f in self.active if f.severity == ERROR]
+
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.active if f.severity == WARNING]
+
+    def failed(self, strict: bool = False) -> bool:
+        """True when the run should exit nonzero."""
+        if strict:
+            return bool(self.active)
+        return bool(self.errors())
+
+    # ------------------------------------------------------------ rendering
+    def summary(self) -> Dict[str, int]:
+        return {
+            "errors": len(self.errors()),
+            "warnings": len(self.warnings()),
+            "waived": len(self.waivers),
+            **self.stats,
+        }
+
+    def to_dict(self) -> dict:
+        ordered = sorted(self.findings, key=lambda f: (f.file, f.line, f.rule))
+        return {
+            "version": 1,
+            "findings": [asdict(f) for f in ordered if not f.waived],
+            "waivers": [asdict(f) for f in ordered if f.waived],
+            "summary": self.summary(),
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    def format(self, show_waivers: bool = True) -> str:
+        lines = [f.format() for f in sorted(self.active, key=lambda f: (f.file, f.line))]
+        if show_waivers and self.waivers:
+            lines.append("")
+            lines.append(f"waiver inventory ({len(self.waivers)} documented buffer-reuse sites):")
+            for f in sorted(self.waivers, key=lambda x: (x.file, x.line)):
+                note = f" — {f.waiver_note}" if f.waiver_note else ""
+                lines.append(f"  {f.file}:{f.line}: [{f.rule}] {f.message}{note}")
+        s = self.summary()
+        lines.append("")
+        lines.append(
+            f"{s['errors']} error(s), {s['warnings']} warning(s), "
+            f"{s['waived']} waived finding(s)"
+        )
+        return "\n".join(lines)

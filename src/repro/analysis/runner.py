@@ -1,0 +1,78 @@
+"""Pass orchestration: file discovery, pass dispatch, report assembly.
+
+The default scope mirrors CI:
+
+* the **kernel-contract** pass scans every module under ``src/repro`` (tests
+  register probe kernels and fixtures seed violations on purpose, so they are
+  excluded unless named explicitly);
+* the **aliasing** pass runs over :data:`~repro.analysis.aliasing.ALIASING_SCOPE`
+  — the modules that orchestrate buffer reuse around kernel inputs.
+
+Explicit paths (files or directories) replace the default scope for *both*
+passes — that is how the seeded-violation fixtures under ``tests/analysis``
+are checked to fail.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from repro.analysis.aliasing import ALIASING_SCOPE, check_aliasing
+from repro.analysis.contracts import check_contracts
+from repro.analysis.findings import AnalysisReport
+
+
+def repo_root(start: Optional[Path] = None) -> Path:
+    """The repository root: nearest ancestor holding ``src/repro``."""
+    here = Path(start or __file__).resolve()
+    for candidate in (here, *here.parents):
+        if (candidate / "src" / "repro").is_dir():
+            return candidate
+    # installed without a src tree: fall back to the package's grandparent
+    return Path(__file__).resolve().parents[3]
+
+
+def _expand(paths: Iterable[Path]) -> List[Path]:
+    out: List[Path] = []
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            out.extend(sorted(path.rglob("*.py")))
+        else:
+            out.append(path)
+    return out
+
+
+def default_contract_files(root: Path) -> List[Path]:
+    return sorted((root / "src" / "repro").rglob("*.py"))
+
+
+def default_aliasing_files(root: Path) -> List[Path]:
+    return [root / rel for rel in ALIASING_SCOPE if (root / rel).is_file()]
+
+
+def run_analysis(
+    paths: Optional[Sequence[Path]] = None,
+    root: Optional[Path] = None,
+) -> AnalysisReport:
+    """Run every pass; returns the aggregated :class:`AnalysisReport`.
+
+    ``paths`` — explicit files/directories for both passes; ``None`` selects
+    the default repo scope described in the module docstring.
+    """
+    root = repo_root() if root is None else Path(root).resolve()
+    if paths:
+        contract_files = aliasing_files = _expand(paths)
+    else:
+        contract_files = default_contract_files(root)
+        aliasing_files = default_aliasing_files(root)
+
+    report = AnalysisReport()
+    findings, stats = check_contracts(contract_files, root=root)
+    report.extend(findings)
+    report.stats.update(stats)
+    findings, stats = check_aliasing(aliasing_files, root=root)
+    report.extend(findings)
+    report.stats.update(stats)
+    return report

@@ -41,6 +41,7 @@ every layer (autograd op, engine, serving executor, bench) picks it up.
 
 from __future__ import annotations
 
+import difflib
 import os
 from contextlib import contextmanager
 from typing import Callable, Dict, Iterator, Optional, Tuple
@@ -109,17 +110,28 @@ def resolve_backend(backend: Optional[str] = None) -> str:
 
 
 def get_kernel(kernel: str, backend: Optional[str] = None) -> Callable:
-    """Look up the implementation of ``kernel`` for the resolved ``backend``."""
+    """Look up the implementation of ``kernel`` for the resolved ``backend``.
+
+    Raises ``KeyError`` for an unregistered kernel name (with a did-you-mean
+    hint and the full registered list) and ``ValueError`` for a kernel that
+    has no implementation under the resolved backend (listing the backends it
+    does have and how to select one).
+    """
     if kernel not in _REGISTRY:
+        names = available_kernels()
+        close = difflib.get_close_matches(str(kernel), names, n=3)
+        hint = f" — did you mean {' or '.join(repr(c) for c in close)}?" if close else ""
         raise KeyError(
-            f"unknown kernel {kernel!r}; registered kernels: {available_kernels()}"
+            f"unknown kernel {kernel!r}{hint}; registered kernels: "
+            f"{', '.join(names) if names else 'none'}"
         )
     name = resolve_backend(backend)
     impls = _REGISTRY[kernel]
     if name not in impls:
         raise ValueError(
-            f"kernel {kernel!r} has no {name!r} backend; "
-            f"available: {available_backends(kernel)}"
+            f"kernel {kernel!r} has no {name!r} backend; available backends "
+            f"for it: {', '.join(sorted(impls)) if impls else 'none'} "
+            f"(select one via a backend= argument, use_backend(), or ${ENV_VAR})"
         )
     return impls[name]
 

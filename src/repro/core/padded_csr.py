@@ -30,6 +30,7 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.analysis.sanitize import freeze_structure, private_copy, sanitize_enabled
 from repro.core.precision import dtype_bytes
 
 #: int32 column-index bytes plus the amortised per-row length counter are the
@@ -87,6 +88,12 @@ class PaddedCSRMatrix:
         # are shared by reference across every values-sibling of one structure,
         # so a cache computed during any training step serves all later steps
         self.__dict__.setdefault("_shared_caches", {})
+        if sanitize_enabled():
+            # write-once guard: the structure keeps frozen private copies, so
+            # neither a kernel writing "through" the structure nor a caller
+            # mutating its original arrays can corrupt the cached layout
+            self.cols = freeze_structure(private_copy(self.cols, np.int32))
+            self.lengths = freeze_structure(private_copy(self.lengths, np.int32))
 
     # ------------------------------------------------------------------ shape
     @property
@@ -274,7 +281,7 @@ class PaddedCSRMatrix:
         cached = self._shared.get("valid")
         if cached is None:
             cached = np.arange(self.width, dtype=np.int32) < self.lengths[..., None]
-            self._shared["valid"] = cached
+            self._shared["valid"] = freeze_structure(cached)
         return cached
 
     def _scatter_cols(self) -> np.ndarray:
@@ -285,7 +292,7 @@ class PaddedCSRMatrix:
             cached = np.where(
                 self.valid_lanes(), self.cols, np.int32(self.dense_cols)
             ).astype(np.int64)
-            self._shared["scatter_cols"] = cached
+            self._shared["scatter_cols"] = freeze_structure(cached)
         return cached
 
     def _row_leads(self, row_width: int) -> np.ndarray:
@@ -305,7 +312,7 @@ class PaddedCSRMatrix:
         cached = self._shared.get("flat_gather")
         if cached is None:
             cached = self.cols + self._row_leads(self.dense_cols)
-            self._shared["flat_gather"] = cached
+            self._shared["flat_gather"] = freeze_structure(cached)
         return cached
 
     def _flat_scatter_indices(self) -> np.ndarray:
@@ -313,7 +320,7 @@ class PaddedCSRMatrix:
         cached = self._shared.get("flat_scatter")
         if cached is None:
             cached = self._scatter_cols() + self._row_leads(self.dense_cols + 1)
-            self._shared["flat_scatter"] = cached
+            self._shared["flat_scatter"] = freeze_structure(cached)
         return cached
 
     @property
@@ -367,7 +374,7 @@ class PaddedCSRMatrix:
             return cached[1]
         dense = self.scatter_compressed(self.values)
         if cache:
-            self.__dict__["_scatter_cache"] = (self.values, dense)
+            self.__dict__["_scatter_cache"] = (self.values, freeze_structure(dense))
         return dense
 
     def with_values(self, new_values: np.ndarray) -> "PaddedCSRMatrix":

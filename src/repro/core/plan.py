@@ -50,6 +50,7 @@ from typing import Dict, Iterator, Optional, Tuple
 
 import numpy as np
 
+from repro.analysis.sanitize import check_grads, check_output, guard_input
 from repro.core.backend import (
     FAST,
     REFERENCE,
@@ -170,6 +171,8 @@ class AttentionPlan:
         block_mask=None,
     ):
         """Stage 1: compressed scores (fused SDDMM + prune, or masked SDDMM)."""
+        q = guard_input(q)
+        k = guard_input(k)
         if self.key.layout == "nm":
             return self._sddmm(
                 q,
@@ -200,6 +203,7 @@ class AttentionPlan:
             buf = np.array(buf, dtype=np.float32)
         valid = scores.valid_lanes()
         lengths = None if valid is None else scores.row_lengths()
+        # repro: owns-buffer — fused plan reuses the score buffer it owns (or just copied)
         masked_softmax_values(buf, valid, lengths, out=buf)
         return scores.with_values(buf)
 
@@ -221,7 +225,7 @@ class AttentionPlan:
         applied = (
             probs if drop_keep is None else probs.with_values(probs.values * drop_keep)
         )
-        return self._spmm(applied, v)
+        return check_output(self._spmm(applied, guard_input(v)), "attention output")
 
     # ------------------------------------------------------------------ bwd
     def backward(
@@ -236,7 +240,17 @@ class AttentionPlan:
         out: Optional[np.ndarray] = None,
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Fused backward: ``(dQ, dK, dV)`` via the resolved ``attention_bwd``."""
-        return self._bwd(probs, q, k, v, d_out, scale, drop_keep, out)
+        grads = self._bwd(
+            probs,
+            guard_input(q),
+            guard_input(k),
+            guard_input(v),
+            guard_input(d_out),
+            scale,
+            drop_keep,
+            guard_input(out),
+        )
+        return check_grads(grads, "attention gradient")
 
     # ------------------------------------------------------------ end-to-end
     def forward(

@@ -99,10 +99,11 @@ def _chunked_row_softmax(
         masked = vals <= MASKED_LOGIT_THRESHOLD
         row_max = np.max(np.where(masked, -np.inf, vals), axis=-1, keepdims=True)
         row_max = np.where(np.isfinite(row_max), row_max, 0.0)
-        np.subtract(vals, row_max, out=o)
-        np.exp(o, out=o)
-        o[masked] = 0.0
+        np.subtract(vals, row_max, out=o)  # repro: owns-buffer — caller-provided out
+        np.exp(o, out=o)  # repro: owns-buffer — caller-provided out
+        o[masked] = 0.0  # repro: owns-buffer — caller-provided out
         denom = np.sum(o, axis=-1, keepdims=True)
+        # repro: owns-buffer — caller-provided out
         np.divide(o, np.where(denom == 0.0, 1.0, denom), out=o)
     return out
 
@@ -123,7 +124,7 @@ def _segmented_row_softmax(
     flat_lengths = lengths.reshape(-1).astype(np.int64, copy=False)
     # gather before zeroing: ``out`` may alias ``values`` in the fused plan
     flat = values[valid]
-    out[...] = 0.0
+    out[...] = 0.0  # repro: owns-buffer — caller-provided out, gathered above
     nonempty = flat_lengths > 0
     if flat.size == 0 or not nonempty.any():
         return out
@@ -145,7 +146,7 @@ def _segmented_row_softmax(
     denom = np.add.reduceat(flat, seg)
     denom = np.where(denom == 0.0, 1.0, denom)
     np.divide(flat, np.repeat(denom, reps), out=flat)
-    out[valid] = flat
+    out[valid] = flat  # repro: owns-buffer — caller-provided out
     return out
 
 

@@ -17,6 +17,7 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.analysis.sanitize import freeze_structure, private_copy, sanitize_enabled
 from repro.core import metadata as meta
 from repro.core import pruning
 from repro.core.patterns import NMPattern, resolve_pattern
@@ -66,6 +67,9 @@ class NMSparseMatrix:
             )
         if np.any(self.indices < 0) or np.any(self.indices >= self.pattern.m):
             raise ValueError("indices must lie in [0, M)")
+        if sanitize_enabled():
+            # write-once guard: the metadata stream is immutable by convention
+            self.indices = freeze_structure(private_copy(self.indices, np.int8))
 
     # ------------------------------------------------------------------ shape
     @property
@@ -138,7 +142,7 @@ class NMSparseMatrix:
             cached = pruning.global_column_indices(
                 self.indices, self.pattern, self.dense_cols
             )
-            self.__dict__["_column_cache"] = cached
+            self.__dict__["_column_cache"] = freeze_structure(cached)
         return cached
 
     def row_lengths(self) -> np.ndarray:
@@ -186,7 +190,7 @@ class NMSparseMatrix:
             return cached[1]
         dense = self.scatter_compressed(self.values)
         if cache:
-            self.__dict__["_scatter_cache"] = (self.values, dense)
+            self.__dict__["_scatter_cache"] = (self.values, freeze_structure(dense))
         return dense
 
     def with_values(self, new_values: np.ndarray) -> "NMSparseMatrix":

@@ -28,6 +28,7 @@ from typing import Optional, Tuple, Union
 
 import numpy as np
 
+from repro.analysis.sanitize import check_grads, check_output, guard_input
 from repro.core.attention_grad import masked_attention_bwd
 from repro.core.backend import REFERENCE, resolve_backend
 from repro.core.blocked_ell import BlockedEllMask
@@ -94,7 +95,9 @@ def _compressed_attention_node(
             probs if drop_keep is None
             else probs.with_values(probs.values * drop_keep)
         )
-        out_data = spmm(applied, v.data, backend=backend)
+        out_data = check_output(
+            spmm(applied, guard_input(v.data), backend=backend), "attention output"
+        )
 
     def backward(out):
         def fn():
@@ -104,9 +107,14 @@ def _compressed_attention_node(
                     drop_keep=drop_keep, out=out.data,
                 )
             else:
-                d_q, d_k, d_v = masked_attention_bwd(
-                    probs, q.data, k.data, v.data, out.grad, scale,
-                    drop_keep=drop_keep, out=out.data, backend=backend,
+                d_q, d_k, d_v = check_grads(
+                    masked_attention_bwd(
+                        probs,
+                        guard_input(q.data), guard_input(k.data),
+                        guard_input(v.data), guard_input(out.grad), scale,
+                        drop_keep=drop_keep, out=out.data, backend=backend,
+                    ),
+                    "attention gradient",
                 )
             if q.requires_grad:
                 q._accumulate(d_q)
@@ -190,8 +198,8 @@ def dfss_sparse_attention(
         probs = plan.compute_probs(scores)
     else:
         scores = sddmm_nm(
-            q.data, k.data, pattern=pattern, scale=scale, block_mask=block_mask,
-            backend=backend,
+            guard_input(q.data), guard_input(k.data), pattern=pattern, scale=scale,
+            block_mask=block_mask, backend=backend,
         )
         probs = sparse_softmax(scores, backend=backend)
     out = _compressed_attention_node(
@@ -287,7 +295,10 @@ def masked_sparse_attention(
         if plan is not None:
             scores = plan.compute_scores(q.data, k.data, structure, scale=scale)
         else:
-            scores = sddmm_csr(q.data, k.data, structure, scale=scale, backend=backend)
+            scores = sddmm_csr(
+                guard_input(q.data), guard_input(k.data), structure,
+                scale=scale, backend=backend,
+            )
     elif scores.values.shape != structure.values.shape:
         raise ValueError(
             f"precomputed scores shape {scores.values.shape} does not share "

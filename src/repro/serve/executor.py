@@ -37,6 +37,7 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.analysis.sanitize import check_output, freeze_structure, guard_input
 from repro.core.padded_csr import PaddedCSRMatrix
 from repro.core.sddmm import MASKED_SCORE
 
@@ -184,6 +185,9 @@ def ragged_attention(
     block exactly its sequence's key range — which also keeps the GEMM
     working set cache-local however large the coalesced batch grows.
     """
+    q = guard_input(q)
+    k = guard_input(k)
+    v = guard_input(v)
     rows, d = q.shape
     if structure.batch_shape != () or structure.rows != rows:
         raise ValueError(
@@ -211,7 +215,7 @@ def ragged_attention(
             k[k0:k1],
             v[k0:k1],
         )
-    return out
+    return check_output(out, "ragged attention output")
 
 
 @dataclass
@@ -250,7 +254,13 @@ class GroupedPlan:
         )
         valid = np.arange(width, dtype=lengths.dtype) < lengths[:, None]
         scatter = np.where(valid, cols, np.int64(n_k))
-        return cls(structure, width, cols, valid, scatter)
+        return cls(
+            structure,
+            width,
+            freeze_structure(cols),
+            freeze_structure(valid),
+            freeze_structure(scatter),
+        )
 
     def __call__(self, qs: np.ndarray, k3: np.ndarray, v3: np.ndarray) -> np.ndarray:
         """Stacked attention over pre-scaled queries ``qs`` of shape ``(g, rows, d)``."""
@@ -306,6 +316,9 @@ def grouped_attention(
     result is bitwise-identical to :func:`ragged_attention` on that slice
     alone — stacking depth, like batch composition, can never perturb a bit.
     """
+    q3 = guard_input(q3)
+    k3 = guard_input(k3)
+    v3 = guard_input(v3)
     g, rows, d = q3.shape
     if structure.batch_shape != () or structure.rows != rows:
         raise ValueError(
@@ -318,4 +331,6 @@ def grouped_attention(
     if scale is None:
         scale = 1.0 / np.sqrt(d)
     qs = q3 * np.float32(scale)
-    return grouped_plan(structure)(qs, k3, v3)
+    return check_output(
+        grouped_plan(structure)(qs, k3, v3), "grouped attention output"
+    )

@@ -1,0 +1,191 @@
+"""Runtime sanitizer: guards fire on seeded violations, clean paths pass."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sanitize import (
+    MASKED_SENTINEL_THRESHOLD,
+    SanitizerError,
+    check_output,
+    guard_input,
+    sanitize_enabled,
+)
+from repro.core.padded_csr import PaddedCSRMatrix
+from repro.core.plan import PlanKey, build_plan
+from repro.core.softmax import MASKED_LOGIT_THRESHOLD
+from repro.core.sparse import NMSparseMatrix
+from repro.nn.autograd import Tensor
+from repro.nn.sparse_attention import dfss_sparse_attention, masked_sparse_attention
+from repro.serve.executor import grouped_attention, ragged_attention
+
+
+@pytest.fixture
+def sanitize(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+
+
+def _qkv(rows=8, cols=16, d=4, seed=0):
+    rng = np.random.default_rng(seed)
+    q = rng.standard_normal((rows, d)).astype(np.float32)
+    k = rng.standard_normal((cols, d)).astype(np.float32)
+    v = rng.standard_normal((cols, d)).astype(np.float32)
+    return q, k, v
+
+
+def _nm_plan():
+    key = PlanKey(
+        mechanism="dfss_2:4",
+        layout="nm",
+        backend="fast",
+        dtype="float32",
+        shape_class=(8, 16, 8),
+    )
+    return build_plan(key)  # uncached: safe to monkey with its kernels
+
+
+class TestModeSwitch:
+    def test_off_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        assert not sanitize_enabled()
+        arr = np.ones(3, dtype=np.float32)
+        assert guard_input(arr) is arr  # no wrapping when off
+        bad = np.full(3, np.nan, dtype=np.float32)
+        assert check_output(bad, "x") is bad  # no checking when off
+
+    def test_truthy_values(self, monkeypatch):
+        for value in ("1", "true", "YES", " on "):
+            monkeypatch.setenv("REPRO_SANITIZE", value)
+            assert sanitize_enabled()
+        monkeypatch.setenv("REPRO_SANITIZE", "0")
+        assert not sanitize_enabled()
+
+    def test_threshold_matches_the_softmax_constant(self):
+        assert MASKED_SENTINEL_THRESHOLD == MASKED_LOGIT_THRESHOLD
+
+
+class TestSeededViolations:
+    def test_kernel_mutating_its_input_faults(self, sanitize):
+        q, k, v = _qkv()
+        plan = _nm_plan()
+        probs = plan.compute_probs(plan.compute_scores(q, k, scale=0.25))
+
+        def mutating_spmm(p, val):
+            val[0, 0] = 0.0  # the seeded violation
+            return np.zeros((8, val.shape[-1]), dtype=np.float32)
+
+        plan._spmm = mutating_spmm
+        with pytest.raises(ValueError, match="read-only"):
+            plan.contract(probs, v)
+        assert v[0, 0] != 0.0  # the caller's array survived the attempt
+
+    def test_kernel_leaking_masked_score_detected(self, sanitize):
+        q, k, v = _qkv()
+        plan = _nm_plan()
+        probs = plan.compute_probs(plan.compute_scores(q, k, scale=0.25))
+        plan._spmm = lambda p, val: np.full((8, 4), np.float32(-1e30))
+        with pytest.raises(SanitizerError, match="MASKED_SCORE sentinel"):
+            plan.contract(probs, v)
+
+    def test_kernel_leaking_nan_detected(self, sanitize):
+        q, k, v = _qkv()
+        plan = _nm_plan()
+        probs = plan.compute_probs(plan.compute_scores(q, k, scale=0.25))
+        plan._spmm = lambda p, val: np.full((8, 4), np.nan, dtype=np.float32)
+        with pytest.raises(SanitizerError, match="non-finite"):
+            plan.contract(probs, v)
+
+    def test_gradient_leak_detected(self, sanitize):
+        q, k, v = _qkv()
+        plan = _nm_plan()
+        probs = plan.compute_probs(plan.compute_scores(q, k, scale=0.25))
+        plan._bwd = lambda *a: (
+            np.full((8, 4), np.inf, dtype=np.float32),
+            np.zeros((16, 4), dtype=np.float32),
+            np.zeros((16, 4), dtype=np.float32),
+        )
+        with pytest.raises(SanitizerError, match="attention gradient"):
+            plan.backward(probs, q, k, v, np.ones((8, 4), np.float32), 0.25)
+
+
+class TestWriteOnceStructures:
+    def test_padded_csr_structure_is_frozen(self, sanitize):
+        mask = np.eye(8, dtype=bool)
+        s = PaddedCSRMatrix.from_mask(mask)
+        with pytest.raises(ValueError, match="read-only"):
+            s.cols[0, 0] = 3
+        with pytest.raises(ValueError, match="read-only"):
+            s.lengths[0] = 5
+
+    def test_padded_csr_caches_are_frozen(self, sanitize):
+        s = PaddedCSRMatrix.from_mask(~np.eye(8, dtype=bool))
+        with pytest.raises(ValueError, match="read-only"):
+            s.valid_lanes()[0, 0] = False
+        with pytest.raises(ValueError, match="read-only"):
+            s.flat_gather_indices()[0, 0] = 7
+
+    def test_caller_array_stays_writable(self, sanitize):
+        cols = np.zeros((4, 1), dtype=np.int32)
+        lengths = np.ones(4, dtype=np.int32)
+        s = PaddedCSRMatrix(np.zeros((4, 1), np.float32), cols, lengths, 4)
+        cols[0, 0] = 2  # the caller's copy is private and untouched
+        assert s.cols[0, 0] == 0
+
+    def test_nm_metadata_is_frozen(self, sanitize):
+        dense = np.arange(32, dtype=np.float32).reshape(4, 8)
+        s = NMSparseMatrix.from_dense(dense, "2:4")
+        with pytest.raises(ValueError, match="read-only"):
+            s.indices[0, 0] = 1
+        with pytest.raises(ValueError, match="read-only"):
+            s.column_indices()[0, 0] = 1
+
+    def test_values_stay_writable_for_the_fused_plan(self, sanitize):
+        # value buffers are deliberately NOT frozen: the fused plan owns and
+        # reuses its score buffer in place (the waived owns-buffer sites)
+        dense = np.arange(32, dtype=np.float32).reshape(4, 8)
+        s = NMSparseMatrix.from_dense(dense, "2:4")
+        s.values[0, 0] = 7.0
+        assert s.values[0, 0] == 7.0
+
+
+class TestCleanPathsUnderSanitizer:
+    def test_trainable_nm_attention_forward_backward(self, sanitize):
+        rng = np.random.default_rng(3)
+        q = Tensor(rng.standard_normal((8, 8)).astype(np.float32), requires_grad=True)
+        k = Tensor(rng.standard_normal((8, 8)).astype(np.float32), requires_grad=True)
+        v = Tensor(rng.standard_normal((8, 8)).astype(np.float32), requires_grad=True)
+        out, _ = dfss_sparse_attention(q, k, v, pattern="2:4")
+        out.backward(np.ones_like(out.data))
+        for grad in (q.grad, k.grad, v.grad):
+            assert np.all(np.isfinite(grad))
+
+    def test_trainable_masked_attention_forward_backward(self, sanitize):
+        rng = np.random.default_rng(4)
+        q = Tensor(rng.standard_normal((6, 8)).astype(np.float32), requires_grad=True)
+        k = Tensor(rng.standard_normal((6, 8)).astype(np.float32), requires_grad=True)
+        v = Tensor(rng.standard_normal((6, 8)).astype(np.float32), requires_grad=True)
+        mask = np.tril(np.ones((6, 6), dtype=bool))
+        out, _ = masked_sparse_attention(q, k, v, mask)
+        out.backward(np.ones_like(out.data))
+        assert np.all(np.isfinite(q.grad))
+
+    def test_serving_paths_guard_and_pass(self, sanitize):
+        rng = np.random.default_rng(5)
+        q, k, v = _qkv(rows=8, cols=8, seed=5)
+        structure = PaddedCSRMatrix.from_mask(np.tril(np.ones((8, 8), dtype=bool)))
+        out = ragged_attention(q, k, v, structure)
+        assert np.all(np.isfinite(out))
+        q3 = rng.standard_normal((2, 8, 4)).astype(np.float32)
+        k3 = rng.standard_normal((2, 8, 4)).astype(np.float32)
+        v3 = rng.standard_normal((2, 8, 4)).astype(np.float32)
+        out3 = grouped_attention(q3, k3, v3, structure)
+        assert np.all(np.isfinite(out3))
+        # user inputs were handed to the kernels read-only, not consumed
+        q3[0, 0, 0] = 9.0  # still writable by the caller
+
+    def test_guard_input_views_share_memory(self, sanitize):
+        arr = np.ones(4, dtype=np.float32)
+        view = guard_input(arr)
+        assert view.base is arr
+        assert not view.flags.writeable
+        arr[0] = 2.0
+        assert view[0] == 2.0

@@ -8,7 +8,7 @@ backends are exactly (or near-bitwise) comparable, ties included.
 import numpy as np
 import pytest
 
-from repro.core.attention_grad import dfss_attention_bwd, softmax_grad_compressed
+from repro.core.attention_grad import masked_attention_bwd, softmax_grad_compressed
 from repro.core.backend import FAST, REFERENCE
 from repro.core.sddmm import sddmm_masked, sddmm_nm
 from repro.core.softmax import sparse_softmax
@@ -115,8 +115,8 @@ class TestFusedBackward:
     def test_backends_agree(self, pattern, batch):
         q, k, v, g, probs = _problem(batch, pattern=pattern, seed=13)
         scale = 0.25
-        ref = dfss_attention_bwd(probs, q, k, v, g, scale, backend=REFERENCE)
-        fast = dfss_attention_bwd(probs, q, k, v, g, scale, backend=FAST)
+        ref = masked_attention_bwd(probs, q, k, v, g, scale, backend=REFERENCE)
+        fast = masked_attention_bwd(probs, q, k, v, g, scale, backend=FAST)
         for r, f in zip(ref, fast):
             np.testing.assert_allclose(f, r, rtol=1e-5, atol=1e-6)
 
@@ -124,8 +124,8 @@ class TestFusedBackward:
         q, k, v, g, probs = _problem((2,), pattern="2:4", seed=17)
         scale = 0.25
         out = spmm(probs, v)
-        plain = dfss_attention_bwd(probs, q, k, v, g, scale, backend=FAST)
-        hinted = dfss_attention_bwd(probs, q, k, v, g, scale, out=out, backend=FAST)
+        plain = masked_attention_bwd(probs, q, k, v, g, scale, backend=FAST)
+        hinted = masked_attention_bwd(probs, q, k, v, g, scale, out=out, backend=FAST)
         for p, h in zip(plain, hinted):
             np.testing.assert_allclose(h, p, rtol=1e-5, atol=1e-6)
 
@@ -134,15 +134,15 @@ class TestFusedBackward:
         scale = 0.25
         rng = np.random.default_rng(0)
         keep = (rng.random(probs.values.shape) >= 0.5).astype(np.float32) * 2.0
-        ref = dfss_attention_bwd(
+        ref = masked_attention_bwd(
             probs, q, k, v, g, scale, drop_keep=keep, backend=REFERENCE
         )
-        fast = dfss_attention_bwd(
+        fast = masked_attention_bwd(
             probs, q, k, v, g, scale, drop_keep=keep, backend=FAST
         )
         for r, f in zip(ref, fast):
             np.testing.assert_allclose(f, r, rtol=1e-5, atol=1e-6)
-        plain = dfss_attention_bwd(probs, q, k, v, g, scale, backend=FAST)
+        plain = masked_attention_bwd(probs, q, k, v, g, scale, backend=FAST)
         assert not np.allclose(fast[2], plain[2])
 
 

@@ -124,3 +124,35 @@ class TestDispatchIntegration:
         fast = sddmm_nm(q, k, pattern="2:4", backend=FAST)
         np.testing.assert_array_equal(ref.indices, fast.indices)
         np.testing.assert_allclose(ref.values, fast.values, atol=1e-6)
+
+
+class TestErrorMessages:
+    """get_kernel failures must name every registered kernel/backend (PR 8)."""
+
+    def test_unknown_kernel_lists_registered_names(self):
+        with pytest.raises(KeyError) as exc:
+            get_kernel("flash_attention")
+        msg = str(exc.value)
+        for kernel in EXPECTED_KERNELS:
+            assert kernel in msg
+
+    def test_unknown_kernel_suggests_close_matches(self):
+        with pytest.raises(KeyError, match="did you mean"):
+            get_kernel("spm")
+        with pytest.raises(KeyError, match="sddmm_nm"):
+            get_kernel("sddmm_mn")
+
+    def test_missing_backend_lists_available_and_selection_paths(self):
+        @register_kernel("refonly_probe", REFERENCE)
+        def probe(x):
+            return x  # pragma: no cover - never dispatched
+
+        try:
+            with pytest.raises(ValueError) as exc:
+                get_kernel("refonly_probe", backend=FAST)
+            msg = str(exc.value)
+            assert "refonly_probe" in msg
+            assert "reference" in msg  # what it does have
+            assert "backend=" in msg and "REPRO_BACKEND" in msg  # how to pick
+        finally:
+            del backend._REGISTRY["refonly_probe"]

@@ -12,7 +12,7 @@ import numpy as np
 import pytest
 
 from repro.core.attention import dfss_attention
-from repro.core.backend import FAST, REFERENCE
+from repro.core.backend import FAST, REFERENCE, get_kernel
 from repro.core.blocked_ell import sliding_window_mask
 from repro.core.pruning import (
     nm_compress,
@@ -22,7 +22,7 @@ from repro.core.pruning import (
 )
 from repro.core.sddmm import sddmm_nm
 from repro.core.softmax import sparse_softmax
-from repro.core.spmm import softmax_spmm, spmm
+from repro.core.spmm import spmm
 
 PATTERNS = ["1:2", "2:4"]
 #: Leading batch shapes, deliberately ragged: scalar, flat, nested, odd sizes.
@@ -141,7 +141,7 @@ class TestSoftmaxSpmmParity:
         scores = sddmm_nm(q, k, pattern=pattern)
         unfused = spmm(sparse_softmax(scores), v)
         for backend in (REFERENCE, FAST):
-            fused = softmax_spmm(scores, v, backend=backend)
+            fused = get_kernel("softmax_spmm", backend)(scores, v)
             np.testing.assert_allclose(fused, unfused, rtol=1e-5, atol=1e-6)
 
     def test_fused_with_fully_masked_rows(self):
@@ -150,8 +150,8 @@ class TestSoftmaxSpmmParity:
         q, k, v = _qkv((), seq=64, d=16, seed=31)
         mask = sliding_window_mask(64, block_size=16, window_blocks=0)
         scores = sddmm_nm(q, k, pattern="2:4", block_mask=mask)
-        ref = softmax_spmm(scores, v, backend=REFERENCE)
-        fast = softmax_spmm(scores, v, backend=FAST)
+        ref = get_kernel("softmax_spmm", REFERENCE)(scores, v)
+        fast = get_kernel("softmax_spmm", FAST)(scores, v)
         np.testing.assert_allclose(fast, ref, atol=1e-6)
 
 
