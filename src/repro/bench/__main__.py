@@ -24,6 +24,7 @@ from repro.bench.runner import (
     CSR_BENCH_KERNELS,
     FUSED_BENCH_KERNELS,
     SERVING_KERNEL,
+    SERVING_LATENCY_KERNEL,
     TRAIN_MATRIX_KERNEL,
     SCALE_SHAPES,
     BenchShape,
@@ -31,6 +32,7 @@ from repro.bench.runner import (
     run_csr_benchmarks,
     run_fused_benchmarks,
     run_serving_benchmark,
+    run_serving_open_loop,
     run_train_matrix,
 )
 from repro.core.backend import available_backends
@@ -80,6 +82,12 @@ def main(argv=None) -> int:
     parser.add_argument("--serve-batch-size", type=int, default=16,
                         help="max ragged batch size for the serving_throughput "
                              "batched rows (default: 16)")
+    parser.add_argument("--serve-rate-rps", type=float, default=200.0,
+                        help="offered Poisson arrival rate for the open-loop "
+                             "serving_latency replay (default: 200)")
+    parser.add_argument("--serve-deadline-ms", type=float, default=50.0,
+                        help="per-request latency deadline the serving_latency "
+                             "row counts misses against (default: 50 ms)")
     parser.add_argument("--pipeline", default=None, choices=sorted(KNOWN_PIPELINES),
                         help="attention pipeline scoped around every run: the "
                              "compiled fused plan or the staged three-kernel "
@@ -172,6 +180,18 @@ def _run_selected(args, classic, csr, fused, selected):
             repeats=args.repeats,
             warmup=args.warmup,
             n_requests=args.serve_requests,
+            max_batch_size=args.serve_batch_size,
+            seed=args.seed,
+            shape=args.shape,
+        )
+    if SERVING_LATENCY_KERNEL in selected:
+        results += run_serving_open_loop(
+            scale=args.scale,
+            repeats=args.repeats,
+            warmup=args.warmup,
+            n_requests=args.serve_requests,
+            rate_rps=args.serve_rate_rps,
+            deadline_s=args.serve_deadline_ms / 1e3,
             max_batch_size=args.serve_batch_size,
             seed=args.seed,
             shape=args.shape,

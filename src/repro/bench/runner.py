@@ -91,12 +91,17 @@ TRAIN_MATRIX_KERNEL = "attention_train_matrix"
 #: per-request sequential execution) produced by :func:`run_serving_benchmark`.
 SERVING_KERNEL = "serving_throughput"
 
+#: Open-loop serving latency: the synthetic workload's ``arrival_offset_s``
+#: Poisson schedule replayed in real time through one batching server,
+#: produced by :func:`run_serving_open_loop`.
+SERVING_LATENCY_KERNEL = "serving_latency"
+
 #: Everything ``python -m repro.bench`` runs by default.
 ALL_BENCH_KERNELS = (
     BENCH_KERNELS
     + CSR_BENCH_KERNELS
     + FUSED_BENCH_KERNELS
-    + (TRAIN_MATRIX_KERNEL, SERVING_KERNEL)
+    + (TRAIN_MATRIX_KERNEL, SERVING_KERNEL, SERVING_LATENCY_KERNEL)
 )
 
 
@@ -707,3 +712,123 @@ def run_serving_benchmark(
             baseline_out = out
             baseline_median = median
     return results
+
+
+def run_serving_open_loop(
+    scale: str = "smoke",
+    repeats: int = 3,
+    warmup: int = 1,
+    n_requests: Optional[int] = None,
+    rate_rps: float = 200.0,
+    deadline_s: float = 0.05,
+    max_batch_size: int = 16,
+    seed: int = 0,
+    shape: Optional[BenchShape] = None,
+) -> List[BenchResult]:
+    """Open-loop serving latency: replay the Poisson arrival schedule in real time.
+
+    Where :func:`run_serving_benchmark` enqueues everything up front (closed
+    loop — a throughput number), this replays each request at its recorded
+    ``arrival_offset_s`` against one long-lived batching server whose clock is
+    the replay wall clock, so queueing delay, batching-deadline waits, and
+    any backlog a slow batch causes all land in the measured latency — the
+    number a tail-latency SLO is written against.
+
+    Per-request open-loop latency = completion − *scheduled* arrival: the
+    server-side queue+execute latency plus any lag between the scheduled
+    arrival and the moment the replayer actually enqueued (backlog from a
+    batch that overran the next arrival).  One ``BenchResult`` row lands in
+    ``BENCH_kernels.json`` as kernel ``serving_latency`` / backend
+    ``open_loop``; ``median_s``/``p10_s``/``p90_s`` are order statistics of
+    the pooled per-request latencies across replays (not of replay wall
+    times — those go to ``timings_s``), and ``extra`` carries the p50/p95/p99
+    tail, the deadline-miss count against ``deadline_s``, and the offered
+    arrival rate.
+    """
+    from repro.serve import AttentionServer, synthetic_workload
+
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    if rate_rps <= 0:
+        raise ValueError(f"rate_rps must be > 0, got {rate_rps}")
+    shape = _resolve_shape(scale, shape)
+    if n_requests is None:
+        n_requests = 12 * shape.batch
+    seq_lens = tuple(
+        sorted({max(16, shape.seq_len // 4), max(16, shape.seq_len // 2), shape.seq_len})
+    )
+    requests = synthetic_workload(
+        n_requests,
+        seq_lens=seq_lens,
+        heads=1,
+        head_dim=shape.head_dim,
+        rate_rps=rate_rps,
+        seed=seed,
+    )
+    schedule = sorted(requests, key=lambda r: r.arrival_offset_s)
+
+    def replay() -> Tuple[List[float], float]:
+        t0 = time.perf_counter()
+        server = AttentionServer(
+            max_batch_size=max_batch_size,
+            clock=lambda: time.perf_counter() - t0,
+        )
+        handles = []
+        for request in schedule:
+            # wait out the inter-arrival gap, firing expired batching
+            # deadlines so queued requests do not sit past their wait bound
+            while True:
+                now = time.perf_counter() - t0
+                if now >= request.arrival_offset_s:
+                    break
+                server.step(now=now)
+                remaining = request.arrival_offset_s - (time.perf_counter() - t0)
+                if remaining > 0:
+                    time.sleep(min(remaining, 1e-4))
+            handles.append((server.enqueue(request), request.arrival_offset_s))
+            server.step()
+        server.drain()
+        elapsed = time.perf_counter() - t0
+        latencies = [
+            max(pending.arrival - offset, 0.0) + pending.result.latency_s
+            for pending, offset in handles
+        ]
+        return latencies, elapsed
+
+    for _ in range(warmup):
+        replay()
+    pooled: List[float] = []
+    walls: List[float] = []
+    for _ in range(repeats):
+        latencies, elapsed = replay()
+        pooled.extend(latencies)
+        walls.append(elapsed)
+    samples = np.asarray(pooled, dtype=float)
+    misses = int(np.sum(samples > deadline_s))
+    median_wall = float(np.median(walls))
+    return [
+        BenchResult(
+            kernel=SERVING_LATENCY_KERNEL,
+            shape=shape.label(f"serve-open{n_requests}@{rate_rps:g}rps"),
+            backend="open_loop",
+            median_s=float(np.percentile(samples, 50)),
+            p10_s=float(np.percentile(samples, 10)),
+            p90_s=float(np.percentile(samples, 90)),
+            speedup=1.0,
+            parity_max_rel_err=None,
+            repeats=repeats,
+            timings_s=[float(t) for t in walls],
+            extra={
+                "latency_p50_s": float(np.percentile(samples, 50)),
+                "latency_p95_s": float(np.percentile(samples, 95)),
+                "latency_p99_s": float(np.percentile(samples, 99)),
+                "deadline_s": float(deadline_s),
+                "deadline_misses": float(misses),
+                "deadline_miss_rate": float(misses) / float(len(samples) or 1),
+                "offered_rate_rps": float(rate_rps),
+                "requests_per_s": (
+                    n_requests / median_wall if median_wall > 0 else float("inf")
+                ),
+            },
+        )
+    ]

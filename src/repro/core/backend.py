@@ -42,9 +42,12 @@ every layer (autograd op, engine, serving executor, bench) picks it up.
 from __future__ import annotations
 
 import difflib
+import functools
 import os
 from contextlib import contextmanager
 from typing import Callable, Dict, Iterator, Optional, Tuple
+
+from repro.profile.tracer import current_tracer
 
 #: Canonical backend names shipped with the repository.
 REFERENCE = "reference"
@@ -133,7 +136,50 @@ def get_kernel(kernel: str, backend: Optional[str] = None) -> Callable:
             f"for it: {', '.join(sorted(impls)) if impls else 'none'} "
             f"(select one via a backend= argument, use_backend(), or ${ENV_VAR})"
         )
-    return impls[name]
+    fn = impls[name]
+    if current_tracer() is None:
+        # Disabled fast path: hand back the registered function itself, so
+        # untraced runs keep both zero overhead and function identity.
+        return fn
+    return _tracing_wrapper(kernel, name, fn)
+
+
+def _arg_shape(args: Tuple, kwargs: Dict) -> Optional[str]:
+    """``"2x4x256x64"`` for the first array-like argument, if any."""
+    for value in (*args, *kwargs.values()):
+        shape = getattr(value, "shape", None)
+        if isinstance(shape, tuple):
+            return "x".join(str(d) for d in shape)
+    return None
+
+
+def _tracing_wrapper(kernel: str, backend: str, fn: Callable) -> Callable:
+    """Wrap a registered kernel so each call emits a ``cat="kernel"`` span.
+
+    Only built while a trace session is active; the plan cache is cleared at
+    session start/stop (see :mod:`repro.core.plan`), so plans compiled before
+    or after a session never hold one of these wrappers.
+    """
+
+    @functools.wraps(fn)
+    def traced(*args, **kwargs):
+        tracer = current_tracer()
+        if tracer is None:
+            return fn(*args, **kwargs)
+        start = tracer._now_us()
+        try:
+            return fn(*args, **kwargs)
+        finally:
+            tracer.emit_complete(
+                kernel,
+                "kernel",
+                start,
+                tracer._now_us() - start,
+                {"backend": backend, "shape": _arg_shape(args, kwargs)},
+            )
+
+    traced.__wrapped__ = fn
+    return traced
 
 
 def register_plan_builder(backend: str) -> Callable[[Callable], Callable]:

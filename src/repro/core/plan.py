@@ -43,10 +43,9 @@ three-kernel path runnable as the parity oracle.
 from __future__ import annotations
 
 import os
-from collections import OrderedDict
-from contextlib import contextmanager
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass
-from typing import Dict, Iterator, Optional, Tuple
+from typing import ContextManager, Dict, Iterator, Optional, Tuple
 
 import numpy as np
 
@@ -60,7 +59,13 @@ from repro.core.backend import (
     resolve_backend,
 )
 from repro.core.patterns import resolve_pattern
+from repro.core.plan_cache import PlanCache
 from repro.core.softmax import masked_softmax_values
+from repro.profile.tracer import (
+    current_tracer,
+    register_metadata_provider,
+    register_session_hook,
+)
 
 #: Canonical pipeline names.
 FUSED = "fused"
@@ -160,6 +165,18 @@ class AttentionPlan:
         self._spmm = get_kernel("spmm", backend)
         self._bwd = get_kernel("attention_bwd", backend)
 
+    def _trace_labels(self) -> ContextManager[None]:
+        """Label scope stamping this plan's identity onto nested trace events."""
+        tracer = current_tracer()
+        if tracer is None:
+            return nullcontext()
+        return tracer.label_scope(
+            mechanism=self.key.mechanism,
+            layout=self.key.layout,
+            shape_class="x".join(str(d) for d in self.key.shape_class),
+            pipeline=FUSED if self.fused else STAGED,
+        )
+
     # ------------------------------------------------------------------ fwd
     def compute_scores(
         self,
@@ -173,19 +190,22 @@ class AttentionPlan:
         """Stage 1: compressed scores (fused SDDMM + prune, or masked SDDMM)."""
         q = guard_input(q)
         k = guard_input(k)
-        if self.key.layout == "nm":
-            return self._sddmm(
-                q,
-                k,
-                pattern=self._pattern,
-                scale=scale,
-                dtype=self.key.dtype,
-                criterion=criterion,
-                block_mask=block_mask,
-            )
-        if structure is None:
-            raise ValueError("csr plans need the compressed structure to score into")
-        return self._sddmm(q, k, structure, scale=scale)
+        with self._trace_labels():
+            if self.key.layout == "nm":
+                return self._sddmm(
+                    q,
+                    k,
+                    pattern=self._pattern,
+                    scale=scale,
+                    dtype=self.key.dtype,
+                    criterion=criterion,
+                    block_mask=block_mask,
+                )
+            if structure is None:
+                raise ValueError(
+                    "csr plans need the compressed structure to score into"
+                )
+            return self._sddmm(q, k, structure, scale=scale)
 
     def compute_probs(self, scores, owned: bool = True):
         """Stage 2: masked softmax over the stored nonzeros.
@@ -197,14 +217,29 @@ class AttentionPlan:
         softmax kernel either way — same core, different buffer.
         """
         if not self.fused:
-            return self._softmax(scores)
+            with self._trace_labels():
+                return self._softmax(scores)
         buf = scores.values
         if not owned or not buf.flags.writeable or not buf.flags.c_contiguous:
             buf = np.array(buf, dtype=np.float32)
         valid = scores.valid_lanes()
         lengths = None if valid is None else scores.row_lengths()
-        # repro: owns-buffer — fused plan reuses the score buffer it owns (or just copied)
-        masked_softmax_values(buf, valid, lengths, out=buf)
+        tracer = current_tracer()
+        # The fused path bypasses registry dispatch (it calls the softmax core
+        # directly), so the kernel span the wrapper would have emitted is
+        # emitted by hand here.
+        span = (
+            nullcontext()
+            if tracer is None
+            else tracer.span(
+                "masked_softmax",
+                backend=self.key.backend,
+                shape="x".join(str(d) for d in buf.shape),
+            )
+        )
+        with self._trace_labels(), span:
+            # repro: owns-buffer — fused plan reuses the score buffer it owns (or just copied)
+            masked_softmax_values(buf, valid, lengths, out=buf)
         return scores.with_values(buf)
 
     def contract(
@@ -225,7 +260,10 @@ class AttentionPlan:
         applied = (
             probs if drop_keep is None else probs.with_values(probs.values * drop_keep)
         )
-        return check_output(self._spmm(applied, guard_input(v)), "attention output")
+        with self._trace_labels():
+            return check_output(
+                self._spmm(applied, guard_input(v)), "attention output"
+            )
 
     # ------------------------------------------------------------------ bwd
     def backward(
@@ -240,16 +278,17 @@ class AttentionPlan:
         out: Optional[np.ndarray] = None,
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Fused backward: ``(dQ, dK, dV)`` via the resolved ``attention_bwd``."""
-        grads = self._bwd(
-            probs,
-            guard_input(q),
-            guard_input(k),
-            guard_input(v),
-            guard_input(d_out),
-            scale,
-            drop_keep,
-            guard_input(out),
-        )
+        with self._trace_labels():
+            grads = self._bwd(
+                probs,
+                guard_input(q),
+                guard_input(k),
+                guard_input(v),
+                guard_input(d_out),
+                scale,
+                drop_keep,
+                guard_input(out),
+            )
         return check_grads(grads, "attention gradient")
 
     # ------------------------------------------------------------ end-to-end
@@ -296,9 +335,7 @@ def _build_reference_plan(key: PlanKey) -> AttentionPlan:
 
 
 # --------------------------------------------------------------------- cache
-_PLAN_CACHE: "OrderedDict[PlanKey, AttentionPlan]" = OrderedDict()
 _PLAN_CACHE_MAX = 64
-_PLAN_STATS: Dict[str, int] = {"hits": 0, "misses": 0}
 
 
 def build_plan(key: PlanKey) -> AttentionPlan:
@@ -306,19 +343,15 @@ def build_plan(key: PlanKey) -> AttentionPlan:
     return get_plan_builder(key.backend)(key)
 
 
+#: Process-wide LRU of compiled plans (see :class:`repro.core.plan_cache.PlanCache`).
+PLAN_CACHE: PlanCache[PlanKey, AttentionPlan] = PlanCache(
+    build_plan, max_entries=_PLAN_CACHE_MAX
+)
+
+
 def get_plan(key: PlanKey) -> AttentionPlan:
     """Cached plan lookup: compile once per key, LRU-evict beyond the cap."""
-    plan = _PLAN_CACHE.get(key)
-    if plan is not None:
-        _PLAN_CACHE.move_to_end(key)
-        _PLAN_STATS["hits"] += 1
-        return plan
-    _PLAN_STATS["misses"] += 1
-    plan = build_plan(key)
-    _PLAN_CACHE[key] = plan
-    while len(_PLAN_CACHE) > _PLAN_CACHE_MAX:
-        _PLAN_CACHE.popitem(last=False)
-    return plan
+    return PLAN_CACHE.get(key)
 
 
 def plan_for_nm(
@@ -362,12 +395,18 @@ def plan_for_structure(
 
 
 def clear_plan_cache() -> None:
-    """Drop every cached plan and reset the hit/miss counters."""
-    _PLAN_CACHE.clear()
-    _PLAN_STATS["hits"] = 0
-    _PLAN_STATS["misses"] = 0
+    """Drop every cached plan and reset the hit/miss/eviction counters."""
+    PLAN_CACHE.clear()
 
 
 def plan_cache_stats() -> Dict[str, int]:
-    """Snapshot of the plan cache: ``{"size", "hits", "misses"}``."""
-    return {"size": len(_PLAN_CACHE), **_PLAN_STATS}
+    """Snapshot of the plan cache: ``{"size", "hits", "misses", "evictions"}``."""
+    return PLAN_CACHE.stats()
+
+
+# Plans bake resolved kernel functions at construction, so the cache is
+# cleared at trace start (kernels re-resolve through the tracing wrapper) and
+# at trace stop (no wrapper outlives its session); the closing stats snapshot
+# is embedded in the trace metadata before the stop-side clear runs.
+register_session_hook(clear_plan_cache)
+register_metadata_provider("plan_cache", plan_cache_stats)

@@ -22,11 +22,19 @@ from repro.gpusim.attention_latency import (
     ATTENTION_MECHANISMS,
     AttentionConfig,
     LatencyBreakdown,
+    TrainingLatency,
     attention_latency,
     attention_speedup,
+    training_attention_latency,
+    training_attention_speedup,
 )
 from repro.gpusim.end_to_end import LayerConfig, end_to_end_latency, end_to_end_speedup
-from repro.gpusim.memory import attention_peak_memory, end_to_end_peak_memory
+from repro.gpusim.memory import (
+    attention_peak_memory,
+    end_to_end_peak_memory,
+    training_memory_reduction,
+    training_peak_memory,
+)
 
 __all__ = [
     "AMPERE_A100",
@@ -35,11 +43,16 @@ __all__ = [
     "ATTENTION_MECHANISMS",
     "AttentionConfig",
     "LatencyBreakdown",
+    "TrainingLatency",
     "attention_latency",
     "attention_speedup",
+    "training_attention_latency",
+    "training_attention_speedup",
     "LayerConfig",
     "end_to_end_latency",
     "end_to_end_speedup",
     "attention_peak_memory",
     "end_to_end_peak_memory",
+    "training_memory_reduction",
+    "training_peak_memory",
 ]

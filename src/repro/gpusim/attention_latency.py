@@ -310,6 +310,80 @@ def attention_latency(
     return _breakdown(mechanism, staged, device)
 
 
+@dataclass
+class TrainingLatency:
+    """Forward + backward latency (seconds) of one training step's attention.
+
+    The backward is modelled as the kernel sequence of the analytic
+    compressed backward (``dV``/``dP``/softmax-Jacobian/``dQ``/``dK``); the
+    forward reuses the inference breakdown.
+    """
+
+    mechanism: str
+    forward: LatencyBreakdown
+    backward_kernels: List[OpCost]
+    backward: float
+
+    @property
+    def total(self) -> float:
+        return self.forward.total + self.backward
+
+
+def _dense_bwd_ops(cfg: AttentionConfig) -> List[OpCost]:
+    b, n, d, dt = cfg.effective_batch, cfg.seq_len, cfg.head_dim, cfg.dtype
+    return [
+        ops.gemm("dv", b, n, d, n, dt),  # dV = Pᵀ dO
+        ops.gemm("dp", b, n, n, d, dt),  # dP = dO Vᵀ
+        ops.elementwise("softmax_bwd", b, float(n * n), dt, flops_per_elem=4.0, reads=2.0),
+        ops.gemm("dq", b, n, d, n, dt),  # dQ = dS K
+        ops.gemm("dk", b, n, d, n, dt),  # dK = dSᵀ Q
+    ]
+
+
+#: Backward-pass kernel models per latency-model key.  Only the mechanisms the
+#: repo actually trains through the compressed pipeline are modelled.
+TRAINING_BACKWARD_MODELS: Dict[str, Callable[[AttentionConfig], List[OpCost]]] = {
+    "transformer": _dense_bwd_ops,
+    "dfss": lambda cfg: ops.attention_bwd_nm_ops(
+        cfg.effective_batch, cfg.seq_len, cfg.seq_len, cfg.head_dim, cfg.dtype
+    ),
+}
+
+
+def training_attention_latency(
+    mechanism: str,
+    config: AttentionConfig,
+    device: GpuDevice = AMPERE_A100,
+) -> TrainingLatency:
+    """Forward + backward latency of one attention training step."""
+    model = resolve_latency_model(mechanism)
+    builder = TRAINING_BACKWARD_MODELS.get(model)
+    if builder is None:
+        raise ValueError(
+            f"mechanism {mechanism!r} has no training backward model; "
+            f"modelled mechanisms: {sorted(TRAINING_BACKWARD_MODELS)}"
+        )
+    forward = attention_latency(mechanism, config, device)
+    kernels = builder(config)
+    return TrainingLatency(
+        mechanism=mechanism,
+        forward=forward,
+        backward_kernels=kernels,
+        backward=ops.total_latency(kernels, device),
+    )
+
+
+def training_attention_speedup(
+    mechanism: str,
+    config: AttentionConfig,
+    device: GpuDevice = AMPERE_A100,
+) -> float:
+    """Training-step speedup of ``mechanism`` over the dense transformer."""
+    dense = training_attention_latency("transformer", config, device)
+    other = training_attention_latency(mechanism, config, device)
+    return dense.total / other.total
+
+
 def attention_speedup(
     mechanism: str,
     config: AttentionConfig,

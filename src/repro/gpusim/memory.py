@@ -79,6 +79,40 @@ def end_to_end_peak_memory(mechanism: str, cfg: LayerConfig) -> float:
     return _base_activations_bytes(cfg) + attention_peak_memory(mechanism, cfg)
 
 
+def training_peak_memory(mechanism: str, cfg: LayerConfig) -> float:
+    """Peak activation bytes of one *training* layer (Table-5-style claims).
+
+    Training keeps the forward's attention weights alive for the backward
+    (the saved compressed probabilities), and the backward materialises one
+    gradient tensor of the same structure (``dP``/``dS`` reuse one buffer in
+    the analytic backward) plus gradients for Q, K and V.  The structural
+    compression therefore pays off *twice*: both the saved probabilities and
+    the probability gradient are ``n²/2 + n²/16`` instead of ``n²`` for DFSS.
+    """
+    from repro.gpusim.attention_latency import resolve_latency_model
+
+    elem = dtype_bytes(cfg.dtype)
+    b, n, dm = cfg.batch_size, cfg.seq_len, cfg.model_dim
+    qkv_grads = 3 * b * n * dm * elem
+    weights = attention_peak_memory(mechanism, cfg)
+    model = resolve_latency_model(mechanism)
+    # Only mechanisms trained through the compressed pipeline carry a
+    # same-structure probability gradient; the others fall back to the dense
+    # gradient of their attention output.
+    if model in ("transformer", "dfss", "fixed", "topk"):
+        weight_grads = weights
+    else:
+        weight_grads = b * cfg.num_heads * n * cfg.head_dim * elem
+    return _base_activations_bytes(cfg) + weights + weight_grads + qkv_grads
+
+
+def training_memory_reduction(mechanism: str, cfg: LayerConfig) -> float:
+    """Dense training peak memory divided by ``mechanism``'s training peak."""
+    dense = training_peak_memory("transformer", cfg)
+    other = training_peak_memory(mechanism, cfg)
+    return dense / other
+
+
 def memory_reduction(mechanism: str, cfg: LayerConfig) -> float:
     """Dense-transformer peak memory divided by ``mechanism``'s peak memory."""
     dense = end_to_end_peak_memory("transformer", cfg)

@@ -16,7 +16,7 @@ head dimension, ...) so mechanism models in
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import List
 
 from repro.core.precision import dtype_bytes
@@ -153,6 +153,97 @@ def spmm_nm(
         unit="sparse_tensor",
         dtype=dtype,
     )
+
+
+def spmm_t_nm(
+    batch: int, n_q: int, n_k: int, d_v: int, dtype: str, tile: int = DEFAULT_TILE
+) -> OpCost:
+    """Transposed SpMM ``Pᵀ @ dO`` of the training backward (``dV``, ``dK``).
+
+    Same compressed-operand traffic as the forward SpMM — the nonzeros and
+    metadata are re-read, the dense operand is read with tiling reuse over the
+    *output* rows (``n_k`` of them now) — but the transposed access runs
+    column-major against the row-compressed layout, so accumulation goes
+    through atomics / a workspace and the effective bandwidth drops.
+    """
+    elem = dtype_bytes(dtype)
+    nonzeros = batch * n_q * n_k / 2.0 * elem
+    metadata = batch * n_q * n_k / 16.0 * elem
+    dense_reads = batch * n_q * d_v * max(1.0, n_k / tile) * elem
+    out = batch * n_k * d_v * elem
+    return OpCost(
+        name="spmm_t_nm",
+        flops=batch * n_q * n_k * d_v,  # half the dense MACs survive
+        bytes_read=nonzeros + metadata + dense_reads,
+        bytes_written=out,
+        unit="sparse_tensor",
+        dtype=dtype,
+        bandwidth_fraction=0.75,
+    )
+
+
+def sddmm_masked_nm(
+    batch: int, n_q: int, n_k: int, d: int, dtype: str, tile: int = DEFAULT_TILE
+) -> OpCost:
+    """Masked SDDMM ``dP = (dO @ Vᵀ)`` sampled at the stored nonzeros.
+
+    The backward reuses the forward's pruning decision, so the metadata is
+    read (not recomputed or rewritten) and only the surviving half of the
+    products is materialised.
+    """
+    elem = dtype_bytes(dtype)
+    reads = (
+        batch
+        * (n_q * d * max(1.0, n_k / tile) + d * n_k * max(1.0, n_q / tile))
+        * elem
+    )
+    metadata = batch * n_q * n_k / 16.0 * elem
+    nonzeros = batch * n_q * n_k / 2.0 * elem
+    return OpCost(
+        name="sddmm_masked_nm",
+        flops=2.0 * batch * n_q * n_k * d,
+        bytes_read=reads + metadata,
+        bytes_written=nonzeros,
+        unit="tensor",
+        dtype=dtype,
+    )
+
+
+def softmax_bwd_nm(batch: int, rows: int, cols: int, dtype: str) -> OpCost:
+    """Softmax Jacobian on compressed rows: ``dS = P ⊙ (dP − Σ P ⊙ dP)``.
+
+    Reads both compressed operands (P and dP), writes dS; a multiply, a row
+    reduction, a broadcast subtract and a multiply per surviving element.
+    """
+    elem = dtype_bytes(dtype)
+    n_elems = batch * rows * cols / 2.0
+    return OpCost(
+        name="softmax_bwd_nm",
+        flops=4.0 * n_elems,
+        bytes_read=2.0 * n_elems * elem,
+        bytes_written=n_elems * elem,
+        unit="fp32",
+        dtype=dtype,
+    )
+
+
+def attention_bwd_nm_ops(
+    batch: int, n_q: int, n_k: int, d: int, dtype: str, tile: int = DEFAULT_TILE
+) -> List[OpCost]:
+    """The kernel sequence of the fused N:M attention backward.
+
+    ``dV = Pᵀ dO`` (transposed SpMM), ``dP`` (masked SDDMM), the compressed
+    softmax Jacobian, then ``dQ = dS K`` (SpMM) and ``dK = dSᵀ Q``
+    (transposed SpMM) — the compressed mirror of the five-op dense backward,
+    with every matrix operand at N:M density.
+    """
+    return [
+        replace(spmm_t_nm(batch, n_q, n_k, d, dtype, tile), name="spmm_t_dv"),
+        replace(sddmm_masked_nm(batch, n_q, n_k, d, dtype, tile), name="sddmm_dp"),
+        replace(softmax_bwd_nm(batch, n_q, n_k, dtype), name="softmax_bwd"),
+        replace(spmm_nm(batch, n_q, n_k, d, dtype, tile), name="spmm_dq"),
+        replace(spmm_t_nm(batch, n_q, n_k, d, dtype, tile), name="spmm_t_dk"),
+    ]
 
 
 # ------------------------------------------------------------- element-wise ops

@@ -23,6 +23,8 @@ from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.profile.tracer import phase_scope
+
 ArrayLike = Union[np.ndarray, float, int, "Tensor"]
 
 
@@ -427,9 +429,12 @@ class Tensor:
                     stack.pop()
 
         visit(self)
-        for node in reversed(topo):
-            if node._backward is not None and node.grad is not None:
-                node._backward()
+        # Kernels dispatched from inside backward closures are attributed to
+        # the bwd phase on the trace timeline (no-op when tracing is off).
+        with phase_scope("bwd"):
+            for node in reversed(topo):
+                if node._backward is not None and node.grad is not None:
+                    node._backward()
 
 
 def parameter(data, name: str = "") -> Tensor:

@@ -47,6 +47,7 @@ from repro.core.softmax import sparse_softmax
 from repro.core.sparse import NMSparseMatrix
 from repro.core.spmm import spmm
 from repro.nn.autograd import Tensor
+from repro.profile.tracer import phase_scope
 from repro.utils.seeding import attention_dropout_keep, draw_dropout_seed
 
 
@@ -101,21 +102,25 @@ def _compressed_attention_node(
 
     def backward(out):
         def fn():
-            if plan is not None:
-                d_q, d_k, d_v = plan.backward(
-                    probs, q.data, k.data, v.data, out.grad, scale,
-                    drop_keep=drop_keep, out=out.data,
-                )
-            else:
-                d_q, d_k, d_v = check_grads(
-                    masked_attention_bwd(
-                        probs,
-                        guard_input(q.data), guard_input(k.data),
-                        guard_input(v.data), guard_input(out.grad), scale,
-                        drop_keep=drop_keep, out=out.data, backend=backend,
-                    ),
-                    "attention gradient",
-                )
+            # Tensor.backward already runs inside a bwd phase scope; the
+            # explicit scope here keeps attribution correct when the closure
+            # is driven directly (e.g. gradcheck harnesses).
+            with phase_scope("bwd"):
+                if plan is not None:
+                    d_q, d_k, d_v = plan.backward(
+                        probs, q.data, k.data, v.data, out.grad, scale,
+                        drop_keep=drop_keep, out=out.data,
+                    )
+                else:
+                    d_q, d_k, d_v = check_grads(
+                        masked_attention_bwd(
+                            probs,
+                            guard_input(q.data), guard_input(k.data),
+                            guard_input(v.data), guard_input(out.grad), scale,
+                            drop_keep=drop_keep, out=out.data, backend=backend,
+                        ),
+                        "attention gradient",
+                    )
             if q.requires_grad:
                 q._accumulate(d_q)
             if k.requires_grad:

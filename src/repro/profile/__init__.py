@@ -1,0 +1,83 @@
+"""``repro.profile`` — Chrome-trace profiler, op DAG, and replay simulator.
+
+Three layers, mirroring the trace→DAG→replay pipeline of dPRO-style
+profilers:
+
+1. :mod:`repro.profile.tracer` records Chrome-trace events from the kernel
+   registry, compiled plans, autograd, and the serving engine
+   (``REPRO_TRACE=path`` or ``with repro.profile.trace(...)``);
+2. :mod:`repro.profile.dag` reconstructs the per-step fwd/bwd op DAG from a
+   recorded trace and computes critical-path / per-kernel attribution;
+3. :mod:`repro.profile.replay` schedules that DAG under hypothetical
+   configurations (measured costs, ``repro.gpusim`` roofline costs, scaled
+   phases) to predict step time.
+
+Only the tracer is imported eagerly: ``repro.core.backend`` imports this
+package for the dispatch-time hook, so pulling in :mod:`repro.profile.dag`
+(and through replay, :mod:`repro.gpusim`) here would create an import cycle.
+The analysis/replay layers load on first attribute access.
+"""
+
+from __future__ import annotations
+
+from repro.profile.tracer import (
+    TRACE_ENV_VAR,
+    Tracer,
+    current_tracer,
+    is_tracing,
+    phase_scope,
+    register_metadata_provider,
+    register_session_hook,
+    start_trace,
+    stop_trace,
+    trace,
+)
+
+__all__ = [
+    "TRACE_ENV_VAR",
+    "Tracer",
+    "current_tracer",
+    "is_tracing",
+    "phase_scope",
+    "register_metadata_provider",
+    "register_session_hook",
+    "start_trace",
+    "stop_trace",
+    "trace",
+    # lazy (see __getattr__)
+    "OpNode",
+    "OpDag",
+    "build_dag",
+    "load_trace",
+    "critical_path",
+    "replay",
+    "gpusim_cost_fn",
+    "ReplayResult",
+    "format_report",
+]
+
+_LAZY = {
+    "OpNode": "repro.profile.dag",
+    "OpDag": "repro.profile.dag",
+    "build_dag": "repro.profile.dag",
+    "load_trace": "repro.profile.dag",
+    "critical_path": "repro.profile.dag",
+    "replay": "repro.profile.replay",
+    "gpusim_cost_fn": "repro.profile.replay",
+    "ReplayResult": "repro.profile.replay",
+    "format_report": "repro.profile.report",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.profile' has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    # Cache the resolved attribute: importing a submodule binds the *module*
+    # under its name on this package (shadowing e.g. the replay() function
+    # with the replay module), so later lookups must not fall through to it.
+    globals()[name] = value
+    return value

@@ -1,0 +1,259 @@
+"""Op-DAG reconstruction from a recorded Chrome trace.
+
+The tracer records what *ran*; this module recovers the structure of what ran
+— the per-step operator DAG — so the critical path can be attributed and the
+replayer (:mod:`repro.profile.replay`) can re-schedule it under hypothetical
+costs.  The recovery follows the dPRO/byteprofile recipe adapted to a
+single-process numpy runtime:
+
+* **Nodes** are the ``cat="kernel"`` complete events, ordered by
+  ``(pid, tid, ts)`` — a deterministic function of the trace, so the same
+  trace always yields the same DAG.
+* **Edges** connect consecutive events on the same ``(pid, tid)`` lane.
+  A synchronous runtime executes each lane in program order, so the recorded
+  order *is* the dependency order; the edge weight is the host-side gap
+  between the two kernels (plan lookup, layout bookkeeping, autograd
+  dispatch), which the replayer preserves so predicted step times account
+  for non-kernel time.
+* **The step span** (``cat="step"``, emitted by ``python -m repro.profile``
+  around the traced unit of work) anchors the DAG in wall time: ``lead`` is
+  the host time from step start to the first kernel, ``tail`` from the last
+  kernel to step end.
+
+With measured costs, scheduling this DAG reconstructs the measured step wall
+time exactly (lead + chain make-span + tail); swapping costs then gives
+counterfactual predictions with everything else held fixed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "OpNode",
+    "StepSpan",
+    "OpDag",
+    "load_trace",
+    "build_dag",
+    "critical_path",
+]
+
+
+@dataclass(frozen=True)
+class OpNode:
+    """One kernel invocation recovered from the trace."""
+
+    index: int
+    name: str
+    start_us: float
+    dur_us: float
+    pid: int
+    tid: int
+    backend: Optional[str] = None
+    phase: str = "fwd"
+    args: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def end_us(self) -> float:
+        return self.start_us + self.dur_us
+
+
+@dataclass(frozen=True)
+class StepSpan:
+    """The ``cat="step"`` span anchoring the DAG in wall time."""
+
+    name: str
+    start_us: float
+    dur_us: float
+
+    @property
+    def end_us(self) -> float:
+        return self.start_us + self.dur_us
+
+
+@dataclass
+class OpDag:
+    """The reconstructed op DAG of one recorded step.
+
+    ``edges[u]`` lists ``(v, gap_us)`` successors; node indices are
+    topological by construction (edges only point forward in the
+    ``(pid, tid, ts)`` order the nodes are stored in).
+    """
+
+    nodes: List[OpNode]
+    edges: Dict[int, List[Tuple[int, float]]]
+    step: Optional[StepSpan] = None
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def lead_us(self) -> float:
+        """Host time from step start to the first kernel (0 without a step)."""
+        if self.step is None or not self.nodes:
+            return 0.0
+        first = min(node.start_us for node in self.nodes)
+        return max(first - self.step.start_us, 0.0)
+
+    @property
+    def tail_us(self) -> float:
+        """Host time from the last kernel end to step end (0 without a step)."""
+        if self.step is None or not self.nodes:
+            return 0.0
+        last = max(node.end_us for node in self.nodes)
+        return max(self.step.end_us - last, 0.0)
+
+    @property
+    def measured_us(self) -> Optional[float]:
+        """The recorded step wall time, when a step span was traced."""
+        return self.step.dur_us if self.step is not None else None
+
+    def predecessors(self) -> Dict[int, List[Tuple[int, float]]]:
+        """Reverse adjacency: ``incoming[v]`` lists ``(u, gap_us)``."""
+        incoming: Dict[int, List[Tuple[int, float]]] = {
+            node.index: [] for node in self.nodes
+        }
+        for u, successors in self.edges.items():
+            for v, gap in successors:
+                incoming[v].append((u, gap))
+        return incoming
+
+
+def load_trace(source: Union[str, Mapping[str, Any]]) -> Dict[str, Any]:
+    """Load a Chrome-trace payload from a path or pass a dict through.
+
+    Raises ``ValueError`` for payloads without a ``traceEvents`` list — the
+    one structural invariant every consumer here relies on.
+    """
+    if isinstance(source, (str, bytes)):
+        with open(source) as fh:
+            payload = json.load(fh)
+    else:
+        payload = dict(source)
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError(
+            "not a Chrome trace: expected a 'traceEvents' list "
+            f"(got {type(events).__name__})"
+        )
+    return payload
+
+
+def _select_step(
+    events: Sequence[Mapping[str, Any]], step: Optional[str]
+) -> Optional[StepSpan]:
+    spans = [
+        e for e in events
+        if e.get("cat") == "step" and e.get("ph") == "X"
+        and (step is None or e.get("name") == step)
+    ]
+    if not spans:
+        if step is not None:
+            names = sorted({e.get("name") for e in events if e.get("cat") == "step"})
+            raise ValueError(
+                f"no step span named {step!r} in trace; recorded steps: "
+                f"{', '.join(map(str, names)) if names else 'none'}"
+            )
+        return None
+    first = min(spans, key=lambda e: float(e["ts"]))
+    return StepSpan(
+        name=str(first.get("name")),
+        start_us=float(first["ts"]),
+        dur_us=float(first["dur"]),
+    )
+
+
+def build_dag(
+    source: Union[str, Mapping[str, Any]],
+    step: Optional[str] = None,
+    categories: Sequence[str] = ("kernel",),
+) -> OpDag:
+    """Reconstruct the op DAG of the (first or named) recorded step.
+
+    Only kernels inside the step span (when one exists) become nodes, so a
+    trace holding several steps yields the DAG of the selected one.
+    """
+    payload = load_trace(source)
+    events = payload["traceEvents"]
+    span = _select_step(events, step)
+
+    raw = []
+    for event in events:
+        if event.get("ph") != "X" or event.get("cat") not in categories:
+            continue
+        ts = float(event["ts"])
+        if span is not None and not (
+            span.start_us <= ts <= span.end_us + 1e-9
+        ):
+            continue
+        raw.append(event)
+    raw.sort(key=lambda e: (int(e.get("pid", 0)), int(e.get("tid", 0)), float(e["ts"])))
+
+    nodes: List[OpNode] = []
+    for index, event in enumerate(raw):
+        args = dict(event.get("args") or {})
+        nodes.append(
+            OpNode(
+                index=index,
+                name=str(event.get("name")),
+                start_us=float(event["ts"]),
+                dur_us=float(event.get("dur", 0.0)),
+                pid=int(event.get("pid", 0)),
+                tid=int(event.get("tid", 0)),
+                backend=args.get("backend"),
+                phase=str(args.get("phase", "fwd")),
+                args=args,
+            )
+        )
+
+    edges: Dict[int, List[Tuple[int, float]]] = {node.index: [] for node in nodes}
+    for prev, node in zip(nodes, nodes[1:]):
+        if (prev.pid, prev.tid) != (node.pid, node.tid):
+            continue
+        gap = max(node.start_us - prev.end_us, 0.0)
+        edges[prev.index].append((node.index, gap))
+
+    return OpDag(
+        nodes=nodes,
+        edges=edges,
+        step=span,
+        metadata=dict(payload.get("metadata") or {}),
+    )
+
+
+def critical_path(
+    dag: OpDag,
+    cost_us: Optional[Mapping[int, float]] = None,
+) -> Tuple[float, List[int]]:
+    """Longest start-to-finish path through the DAG: ``(length_us, indices)``.
+
+    ``cost_us`` overrides node durations by index (the replayer passes its
+    hypothetical costs so the *predicted* critical path is reported, not the
+    recorded one).  Edge gaps always count — they are real host time.
+    """
+    if not dag.nodes:
+        return 0.0, []
+    finish: Dict[int, float] = {}
+    parent: Dict[int, Optional[int]] = {}
+    incoming = dag.predecessors()
+    # Node indices are topological (edges point forward), so one ordered scan
+    # is a full longest-path DP.
+    for node in dag.nodes:
+        dur = cost_us[node.index] if cost_us is not None else node.dur_us
+        best_start = 0.0
+        best_parent: Optional[int] = None
+        for u, gap in incoming[node.index]:
+            candidate = finish[u] + gap
+            if candidate > best_start:
+                best_start = candidate
+                best_parent = u
+        finish[node.index] = best_start + dur
+        parent[node.index] = best_parent
+    end = max(finish, key=lambda i: finish[i])
+    path: List[int] = []
+    cursor: Optional[int] = end
+    while cursor is not None:
+        path.append(cursor)
+        cursor = parent[cursor]
+    path.reverse()
+    return finish[end], path

@@ -1,0 +1,156 @@
+"""Human-readable profile reports: attribution tables and the critical path.
+
+Consumes the artifacts of the other two layers — the op DAG and a replay
+result — and renders the tables ``python -m repro.profile`` prints: per-kernel
+and per-phase time attribution, the critical path with per-hop costs, the
+cache statistics carried in the trace metadata, and the replay's
+predicted-vs-measured summary.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Mapping, Optional, Union
+
+from repro.profile.dag import OpDag, build_dag
+from repro.profile.replay import ReplayResult
+from repro.utils.formatting import format_table
+
+__all__ = ["kernel_attribution", "phase_attribution", "format_report"]
+
+
+def kernel_attribution(dag: OpDag) -> List[Dict[str, object]]:
+    """Per-kernel totals: count, total/mean µs, share of all kernel time."""
+    totals: Dict[str, float] = defaultdict(float)
+    counts: Dict[str, int] = defaultdict(int)
+    for node in dag.nodes:
+        totals[node.name] += node.dur_us
+        counts[node.name] += 1
+    grand = sum(totals.values()) or 1.0
+    rows = [
+        {
+            "kernel": name,
+            "count": counts[name],
+            "total_us": totals[name],
+            "mean_us": totals[name] / counts[name],
+            "share": totals[name] / grand,
+        }
+        for name in totals
+    ]
+    rows.sort(key=lambda r: -r["total_us"])
+    return rows
+
+
+def phase_attribution(dag: OpDag) -> List[Dict[str, object]]:
+    """Per-phase (fwd/bwd) totals over the DAG's kernels."""
+    totals: Dict[str, float] = defaultdict(float)
+    counts: Dict[str, int] = defaultdict(int)
+    for node in dag.nodes:
+        totals[node.phase] += node.dur_us
+        counts[node.phase] += 1
+    grand = sum(totals.values()) or 1.0
+    return [
+        {
+            "phase": phase,
+            "kernels": counts[phase],
+            "total_us": totals[phase],
+            "share": totals[phase] / grand,
+        }
+        for phase in sorted(totals)
+    ]
+
+
+def _critical_path_lines(dag: OpDag, result: ReplayResult) -> List[str]:
+    by_index = {node.index: node for node in dag.nodes}
+    rows = []
+    for hop, index in enumerate(result.path):
+        node = by_index[index]
+        rows.append(
+            (
+                hop,
+                node.name,
+                node.phase,
+                node.backend or "-",
+                result.cost_us.get(index, node.dur_us) / 1e3,
+            )
+        )
+    return [
+        format_table(
+            ("#", "kernel", "phase", "backend", "cost_ms"),
+            rows,
+            digits=4,
+            title=f"Critical path ({result.path_us / 1e3:.4f} ms over "
+            f"{len(result.path)} kernels)",
+        )
+    ]
+
+
+def format_report(
+    source: Union[OpDag, str, Mapping],
+    result: Optional[ReplayResult] = None,
+) -> str:
+    """Render the full profile report of one recorded step as text."""
+    dag = source if isinstance(source, OpDag) else build_dag(source)
+    sections: List[str] = []
+
+    step = dag.step
+    if step is not None:
+        sections.append(
+            f"Step {step.name!r}: measured wall {step.dur_us / 1e3:.4f} ms "
+            f"({len(dag.nodes)} kernels; lead {dag.lead_us / 1e3:.4f} ms, "
+            f"tail {dag.tail_us / 1e3:.4f} ms)"
+        )
+    else:
+        sections.append(f"{len(dag.nodes)} kernels (no step span recorded)")
+
+    sections.append(
+        format_table(
+            ("kernel", "count", "total_ms", "mean_ms", "share"),
+            [
+                (
+                    r["kernel"],
+                    r["count"],
+                    r["total_us"] / 1e3,
+                    r["mean_us"] / 1e3,
+                    f"{100.0 * r['share']:.1f}%",
+                )
+                for r in kernel_attribution(dag)
+            ],
+            digits=4,
+            title="Per-kernel attribution",
+        )
+    )
+    sections.append(
+        format_table(
+            ("phase", "kernels", "total_ms", "share"),
+            [
+                (
+                    r["phase"],
+                    r["kernels"],
+                    r["total_us"] / 1e3,
+                    f"{100.0 * r['share']:.1f}%",
+                )
+                for r in phase_attribution(dag)
+            ],
+            digits=4,
+            title="Per-phase attribution",
+        )
+    )
+
+    if result is not None:
+        sections.extend(_critical_path_lines(dag, result))
+        line = f"Replay: predicted step {result.predicted_us / 1e3:.4f} ms"
+        if result.measured_us is not None:
+            line += (
+                f" vs measured {result.measured_us / 1e3:.4f} ms "
+                f"(error {100.0 * (result.rel_error or 0.0):.2f}%)"
+            )
+        sections.append(line)
+
+    for cache in ("plan_cache", "structure_cache"):
+        stats = dag.metadata.get(cache)
+        if isinstance(stats, Mapping):
+            pairs = ", ".join(f"{k}={v}" for k, v in stats.items())
+            sections.append(f"{cache}: {pairs}")
+
+    return "\n\n".join(sections)

@@ -8,9 +8,13 @@ key.  At serving scale this removes the mask build *and* the
 ``from_mask`` argsort from the hot path entirely; only content-dependent
 mechanisms (DFSS, Top-K, LSH/clustering) pay per-request structure costs.
 
-Hit/miss counters are first-class: the server surfaces them through
+Hit/miss/eviction counters are first-class: the server surfaces them through
 ``AttentionServer.stats()`` so a deployment can see whether its traffic mix
-actually reuses structures.
+actually reuses structures, and while a trace session is active each lookup
+emits a ``structure_cache_hit``/``structure_cache_miss`` instant event onto
+the timeline and counts into session totals reported in the trace metadata
+(``structure_cache`` key) — covering even caches that are garbage by the
+time the trace is written.
 """
 
 from __future__ import annotations
@@ -18,7 +22,25 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Callable, Dict, Hashable
 
+from repro.profile.tracer import (
+    current_tracer,
+    register_metadata_provider,
+    register_session_hook,
+)
+
 __all__ = ["StructureCache"]
+
+#: Aggregate counters across every cache instance, maintained only while a
+#: trace session is active and reset at its boundaries — transient caches
+#: (e.g. the one ``repro.serve.serve()`` builds per call) are usually garbage
+#: by the time the trace is written, so the session totals are what the
+#: metadata can still report.
+_SESSION_TOTALS: Dict[str, int] = {"hits": 0, "misses": 0, "evictions": 0}
+
+
+def _reset_session_totals() -> None:
+    _SESSION_TOTALS["hits"] = _SESSION_TOTALS["misses"] = 0
+    _SESSION_TOTALS["evictions"] = 0
 
 
 class StructureCache:
@@ -37,6 +59,7 @@ class StructureCache:
         self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -47,23 +70,49 @@ class StructureCache:
     def get(self, key: Hashable, build: Callable[[], object]) -> object:
         """Return the cached value for ``key``, building (and counting a miss)
         once on first use."""
+        tracer = current_tracer()
         try:
             value = self._entries[key]
         except KeyError:
             self.misses += 1
+            if tracer is not None:
+                _SESSION_TOTALS["misses"] += 1
+                tracer.instant("structure_cache_miss", "cache", key=repr(key))
             value = build()
             self._entries[key] = value
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
+                self.evictions += 1
+                if tracer is not None:
+                    _SESSION_TOTALS["evictions"] += 1
             return value
         self.hits += 1
+        if tracer is not None:
+            _SESSION_TOTALS["hits"] += 1
+            tracer.instant("structure_cache_hit", "cache", key=repr(key))
         self._entries.move_to_end(key)
         return value
 
     def stats(self) -> Dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses, "entries": len(self._entries)}
+        """``{"hits", "misses", "evictions", "entries", "size"}`` snapshot.
+
+        ``entries`` is kept alongside the cross-cache-conventional ``size``
+        for backward compatibility — they are always equal.
+        """
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": len(self._entries),
+            "size": len(self._entries),
+        }
 
     def clear(self) -> None:
         self._entries.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+
+
+register_session_hook(_reset_session_totals)
+register_metadata_provider("structure_cache", lambda: dict(_SESSION_TOTALS))

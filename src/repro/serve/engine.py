@@ -42,6 +42,7 @@ from typing import Callable, Deque, Dict, Hashable, List, Mapping, Optional, Seq
 import numpy as np
 
 from repro.engine import AttentionEngine
+from repro.profile.tracer import current_tracer
 from repro.serve.batcher import PreparedRequest, prepare_request, run_ragged_batch
 from repro.serve.cache import StructureCache
 
@@ -238,6 +239,20 @@ class AttentionServer:
         return sum(len(q) for q in self._queues.values())
 
     def _execute(self, batch: Sequence[_Pending]) -> List[ServeResult]:
+        tracer = current_tracer()
+        if tracer is not None:
+            mechanisms = sorted({p.prepared.mechanism for p in batch})
+            with tracer.span(
+                "serve_batch",
+                "serve",
+                requests=len(batch),
+                batchable=bool(batch and batch[0].prepared.batchable),
+                mechanisms=",".join(mechanisms),
+            ):
+                return self._execute_inner(batch)
+        return self._execute_inner(batch)
+
+    def _execute_inner(self, batch: Sequence[_Pending]) -> List[ServeResult]:
         if batch and batch[0].prepared.batchable:
             outputs = run_ragged_batch([p.prepared for p in batch])
             batched = True

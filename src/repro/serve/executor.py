@@ -32,6 +32,7 @@ paths are tested against and the spelled-out semantics of the pipeline.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
@@ -40,6 +41,15 @@ import numpy as np
 from repro.analysis.sanitize import check_output, freeze_structure, guard_input
 from repro.core.padded_csr import PaddedCSRMatrix
 from repro.core.sddmm import MASKED_SCORE
+from repro.profile.tracer import current_tracer
+
+
+def _kernel_span(name: str, **args):
+    """Manual kernel span for the serving fast paths (they bypass the registry)."""
+    tracer = current_tracer()
+    if tracer is None:
+        return nullcontext()
+    return tracer.span(name, "kernel", backend="serve", **args)
 
 __all__ = [
     "ragged_sddmm",
@@ -207,14 +217,17 @@ def ragged_attention(
             f"{len(key_blocks)} key blocks for {len(row_blocks)} row blocks"
         )
     out = np.empty((rows, v.shape[-1]), dtype=np.float32)
-    for (start, stop), (k0, k1) in zip(row_blocks, key_blocks):
-        out[start:stop] = _fold_attention_block(
-            qs[start:stop],
-            structure.cols[start:stop] - np.int32(k0),
-            structure.lengths[start:stop],
-            k[k0:k1],
-            v[k0:k1],
-        )
+    with _kernel_span(
+        "ragged_attention", shape=f"{rows}x{d}", blocks=len(row_blocks)
+    ):
+        for (start, stop), (k0, k1) in zip(row_blocks, key_blocks):
+            out[start:stop] = _fold_attention_block(
+                qs[start:stop],
+                structure.cols[start:stop] - np.int32(k0),
+                structure.lengths[start:stop],
+                k[k0:k1],
+                v[k0:k1],
+            )
     return check_output(out, "ragged attention output")
 
 
@@ -331,6 +344,6 @@ def grouped_attention(
     if scale is None:
         scale = 1.0 / np.sqrt(d)
     qs = q3 * np.float32(scale)
-    return check_output(
-        grouped_plan(structure)(qs, k3, v3), "grouped attention output"
-    )
+    with _kernel_span("grouped_attention", shape=f"{g}x{rows}x{d}", group=g):
+        out = grouped_plan(structure)(qs, k3, v3)
+    return check_output(out, "grouped attention output")

@@ -1,0 +1,85 @@
+"""Tests for the open-loop serving latency benchmark (``serving_latency``)."""
+
+import pytest
+
+from repro.bench import BenchShape
+from repro.bench.runner import (
+    ALL_BENCH_KERNELS,
+    SERVING_LATENCY_KERNEL,
+    run_serving_open_loop,
+)
+
+TINY = BenchShape(batch=1, heads=2, seq_len=64, head_dim=16)
+
+
+def _run(**overrides):
+    params = dict(
+        repeats=1,
+        warmup=0,
+        n_requests=6,
+        rate_rps=500.0,
+        max_batch_size=4,
+        seed=0,
+        shape=TINY,
+    )
+    params.update(overrides)
+    return run_serving_open_loop(**params)
+
+
+class TestOpenLoopBenchmark:
+    def test_registered_as_default_kernel(self):
+        assert SERVING_LATENCY_KERNEL in ALL_BENCH_KERNELS
+
+    def test_row_shape_and_extras(self):
+        (row,) = _run()
+        assert row.kernel == SERVING_LATENCY_KERNEL
+        assert row.backend == "open_loop"
+        assert "serve-open6@500rps" in row.shape
+        assert row.parity_max_rel_err is None
+        assert {
+            "latency_p50_s",
+            "latency_p95_s",
+            "latency_p99_s",
+            "deadline_s",
+            "deadline_misses",
+            "deadline_miss_rate",
+            "offered_rate_rps",
+            "requests_per_s",
+        } <= set(row.extra)
+
+    def test_latency_percentiles_ordered_and_positive(self):
+        (row,) = _run()
+        assert 0.0 < row.median_s
+        assert row.p10_s <= row.median_s <= row.p90_s
+        assert (
+            row.extra["latency_p50_s"]
+            <= row.extra["latency_p95_s"]
+            <= row.extra["latency_p99_s"]
+        )
+
+    def test_replay_takes_at_least_the_arrival_span(self):
+        from repro.serve.workload import synthetic_workload
+
+        (row,) = _run()
+        span = max(
+            r.arrival_offset_s
+            for r in synthetic_workload(
+                6, seq_lens=(16, 32, 64), heads=1, head_dim=16,
+                rate_rps=500.0, seed=0,
+            )
+        )
+        # open loop: the wall clock includes the real-time arrival schedule
+        assert row.timings_s[0] >= span
+
+    def test_deadline_misses_count_tail_latencies(self):
+        (strict,) = _run(deadline_s=0.0)
+        assert strict.extra["deadline_misses"] == 6.0
+        assert strict.extra["deadline_miss_rate"] == 1.0
+        (loose,) = _run(deadline_s=60.0)
+        assert loose.extra["deadline_misses"] == 0.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError, match="repeats"):
+            _run(repeats=0)
+        with pytest.raises(ValueError, match="rate_rps"):
+            _run(rate_rps=0.0)

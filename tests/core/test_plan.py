@@ -115,7 +115,7 @@ class TestPlanCache:
         b = plan_for_nm("2:4", 16, 16, backend=FAST)
         assert a is b
         stats = plan_cache_stats()
-        assert stats == {"size": 1, "hits": 1, "misses": 2 - 1}
+        assert stats == {"size": 1, "hits": 1, "misses": 2 - 1, "evictions": 0}
 
     def test_key_axes_separate_plans(self):
         base = plan_for_nm(PATTERN_2_4, 16, 16, backend=FAST)
@@ -136,11 +136,14 @@ class TestPlanCache:
         for rows in range(8, 8 + plan_module._PLAN_CACHE_MAX + 8):
             plan_for_nm(PATTERN_2_4, rows, 16, backend=FAST)
         assert plan_cache_stats()["size"] == plan_module._PLAN_CACHE_MAX
+        assert plan_cache_stats()["evictions"] == 8
 
     def test_clear_resets_stats(self):
         plan_for_nm(PATTERN_2_4, 16, 16, backend=FAST)
         clear_plan_cache()
-        assert plan_cache_stats() == {"size": 0, "hits": 0, "misses": 0}
+        assert plan_cache_stats() == {
+            "size": 0, "hits": 0, "misses": 0, "evictions": 0,
+        }
 
     def test_build_plan_is_uncached(self):
         key = PlanKey("dfss_2:4", "nm", FAST, "float32", (16, 16, 8))

@@ -41,10 +41,14 @@ class TestPrepareRequest:
         cache = StructureCache()
         first = _prepare(_request(rng), cache)
         assert first.cache_hit is False
-        assert cache.stats() == {"hits": 0, "misses": 1, "entries": 1}
+        assert cache.stats() == {
+            "hits": 0, "misses": 1, "evictions": 0, "entries": 1, "size": 1,
+        }
         second = _prepare(_request(rng), cache)
         assert second.cache_hit is True
-        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+        assert cache.stats() == {
+            "hits": 1, "misses": 1, "evictions": 0, "entries": 1, "size": 1,
+        }
         # every segment of every request shares the one cached structure
         shared = {id(s.structure) for p in (first, second) for s in p.segments}
         assert len(shared) == 1

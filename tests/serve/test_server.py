@@ -149,7 +149,9 @@ class TestScheduler:
         assert stats["served_batches"] == 1
         assert stats["coalesced_requests"] == 3
         assert stats["pending"] == 0
-        assert stats["structure_cache"] == {"hits": 1, "misses": 2, "entries": 2}
+        assert stats["structure_cache"] == {
+            "hits": 1, "misses": 2, "evictions": 0, "entries": 2, "size": 2,
+        }
 
     def test_shared_structure_cache_across_servers(self):
         cache = StructureCache()

@@ -47,7 +47,9 @@ class TestStructureCache:
             value = cache.get("key", lambda: calls.append(1) or "built")
         assert value == "built"
         assert len(calls) == 1
-        assert cache.stats() == {"hits": 2, "misses": 1, "entries": 1}
+        assert cache.stats() == {
+            "hits": 2, "misses": 1, "evictions": 0, "entries": 1, "size": 1,
+        }
 
     def test_lru_eviction_respects_recency(self):
         cache = StructureCache(max_entries=2)
@@ -64,7 +66,9 @@ class TestStructureCache:
         cache.get("a", lambda: "A")
         cache.clear()
         assert len(cache) == 0
-        assert cache.stats() == {"hits": 0, "misses": 0, "entries": 0}
+        assert cache.stats() == {
+            "hits": 0, "misses": 0, "evictions": 0, "entries": 0, "size": 0,
+        }
 
     def test_invalid_capacity_rejected(self):
         with pytest.raises(ValueError, match="max_entries"):
