@@ -19,6 +19,7 @@ from repro.utils.seeding import SeedLike
     compressed=True,
     batchable=True,
     static_mask=True,
+    latency_model="bigbird",
 )
 @register
 class BigBirdAttention(AttentionMechanism):

@@ -71,6 +71,7 @@ class _FixedMaskAttention(AttentionMechanism):
     compressed=True,
     batchable=True,
     static_mask=True,
+    latency_model="local",
 )
 @register
 class LocalWindowAttention(_FixedMaskAttention):

@@ -27,6 +27,7 @@ def longformer_mask(n_q: int, n_k: int, window: int, num_global: int) -> np.ndar
     compressed=True,
     batchable=True,
     static_mask=True,
+    latency_model="longformer",
 )
 @register
 class LongformerAttention(AttentionMechanism):

@@ -23,6 +23,7 @@ from repro.bench.runner import (
     BENCH_KERNELS,
     CSR_BENCH_KERNELS,
     FUSED_BENCH_KERNELS,
+    MULTICORE_BENCH_KERNELS,
     SERVING_KERNEL,
     SERVING_LATENCY_KERNEL,
     TRAIN_MATRIX_KERNEL,
@@ -31,6 +32,7 @@ from repro.bench.runner import (
     run_benchmarks,
     run_csr_benchmarks,
     run_fused_benchmarks,
+    run_multicore_benchmarks,
     run_serving_benchmark,
     run_serving_open_loop,
     run_train_matrix,
@@ -76,6 +78,16 @@ def main(argv=None) -> int:
                         help="mechanism subset for the attention_train_matrix "
                              "sweep (default: every trainable mask-based "
                              "mechanism with a compressed path)")
+    parser.add_argument("--multicore-workers", type=int, default=None,
+                        help="pool size for the attention_multicore rows "
+                             "(default: $REPRO_MULTICORE_WORKERS, else the "
+                             "host cpu count)")
+    parser.add_argument("--multicore-scaling", nargs="+", type=int, default=None,
+                        metavar="N",
+                        help="worker counts for the workers-vs-speedup "
+                             "scaling sweep (emits attention_multicore_scaling "
+                             "rows with a single-worker baseline; default: "
+                             "no sweep)")
     parser.add_argument("--serve-requests", type=int, default=None,
                         help="request count for the serving_throughput workload "
                              "(default: 12x the shape's batch size)")
@@ -110,13 +122,14 @@ def main(argv=None) -> int:
     classic = [k for k in selected if k in BENCH_KERNELS]
     csr = [k for k in selected if k in CSR_BENCH_KERNELS]
     fused = [k for k in selected if k in FUSED_BENCH_KERNELS]
+    multicore = [k for k in selected if k in MULTICORE_BENCH_KERNELS]
 
     pipeline_scope = (
         use_pipeline(args.pipeline) if args.pipeline else contextlib.nullcontext()
     )
     results = []
     with pipeline_scope:
-        results += _run_selected(args, classic, csr, fused, selected)
+        results += _run_selected(args, classic, csr, fused, multicore, selected)
     print(format_table(results))
     if args.output:
         payload = results_to_payload(
@@ -128,7 +141,7 @@ def main(argv=None) -> int:
     return 0
 
 
-def _run_selected(args, classic, csr, fused, selected):
+def _run_selected(args, classic, csr, fused, multicore, selected):
     results = []
     if classic:
         results += run_benchmarks(
@@ -159,6 +172,18 @@ def _run_selected(args, classic, csr, fused, selected):
             warmup=args.warmup,
             patterns=tuple(args.patterns),
             kernels=fused,
+            seed=args.seed,
+            shape=args.shape,
+        )
+    if multicore:
+        results += run_multicore_benchmarks(
+            scale=args.scale,
+            repeats=args.repeats,
+            warmup=args.warmup,
+            patterns=tuple(args.patterns),
+            kernels=multicore,
+            workers=args.multicore_workers,
+            scaling=args.multicore_scaling,
             seed=args.seed,
             shape=args.shape,
         )

@@ -9,6 +9,7 @@ is delegated to the ``build`` callable injected at construction.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Callable, Dict, Generic, Hashable, TypeVar
 
@@ -28,53 +29,69 @@ class PlanCache(Generic[K, V]):
     behaviour is visible on the timeline next to the kernels it affects.
     Keys are expected to carry ``mechanism`` / ``backend`` attributes (the
     :class:`~repro.core.plan.PlanKey` fields stamped on those events).
+
+    Thread-safe: the multicore backend's worker pool made concurrent lookups
+    a reality, so the counters and the OrderedDict recency updates are
+    guarded by an ``RLock``.  A cold key may still be built more than once
+    under a race (compilation is pure and idempotent — last write wins); the
+    LRU state itself can never corrupt.
     """
 
     def __init__(self, build: Callable[[K], V], max_entries: int = 64) -> None:
         self._build = build
         self.max_entries = int(max_entries)
         self._plans: "OrderedDict[K, V]" = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     def __len__(self) -> int:
-        return len(self._plans)
+        with self._lock:
+            return len(self._plans)
 
     def get(self, key: K) -> V:
         tracer = current_tracer()
-        plan = self._plans.get(key)
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                self._plans.move_to_end(key)
+                self.hits += 1
+            else:
+                self.misses += 1
         if plan is not None:
-            self._plans.move_to_end(key)
-            self.hits += 1
             if tracer is not None:
                 tracer.instant(
                     "plan_cache_hit", "cache",
                     mechanism=key.mechanism, backend=key.backend,
                 )
             return plan
-        self.misses += 1
         if tracer is not None:
             tracer.instant(
                 "plan_cache_miss", "cache",
                 mechanism=key.mechanism, backend=key.backend,
             )
+        # Build outside the lock: compilation can recurse into the registry
+        # (and, for delegating backends, into this very cache).
         plan = self._build(key)
-        self._plans[key] = plan
-        while len(self._plans) > self.max_entries:
-            self._plans.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            self._plans[key] = plan
+            while len(self._plans) > self.max_entries:
+                self._plans.popitem(last=False)
+                self.evictions += 1
         return plan
 
     def clear(self) -> None:
-        self._plans.clear()
-        self.hits = self.misses = self.evictions = 0
+        with self._lock:
+            self._plans.clear()
+            self.hits = self.misses = self.evictions = 0
 
     def stats(self) -> Dict[str, int]:
         """``{"size", "hits", "misses", "evictions"}`` since the last clear."""
-        return {
-            "size": len(self._plans),
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-        }
+        with self._lock:
+            return {
+                "size": len(self._plans),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }

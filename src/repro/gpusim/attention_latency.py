@@ -140,6 +140,90 @@ def _fixed(cfg: AttentionConfig, density: float = 0.5) -> Dict[str, List[OpCost]
     }
 
 
+def _local(cfg: AttentionConfig, window: int = 32) -> Dict[str, List[OpCost]]:
+    """Sliding-window local attention: banded extents, no per-step overhead.
+
+    The mask is static (the serving structure cache amortises its build to
+    zero), so each row touches at most ``2*window + 1`` keys and every stage
+    is the dense stage with its column extent cut to the band width.
+    """
+    b, n, d, dt = cfg.effective_batch, cfg.seq_len, cfg.head_dim, cfg.dtype
+    w = min(n, 2 * window + 1)
+    return {
+        "overhead": [],
+        "qk": [ops.gemm("band_qk", b, n, w, d, dt)],
+        "softmax": [ops.softmax_dense(b, n, w, dt)],
+        "av": [ops.gemm("band_av", b, n, d, w, dt)],
+    }
+
+
+def _longformer(
+    cfg: AttentionConfig, window: int = 32, num_global: int = 1
+) -> Dict[str, List[OpCost]]:
+    """Longformer: the local band plus a few global tokens.
+
+    Regular rows read ``num_global`` extra columns on top of the band; the
+    ``num_global`` global rows attend to the full sequence, adding a skinny
+    dense stripe whose cost grows linearly in ``n``.
+    """
+    b, n, d, dt = cfg.effective_batch, cfg.seq_len, cfg.head_dim, cfg.dtype
+    g = min(num_global, n)
+    w = min(n, 2 * window + 1 + g)
+    staged = {
+        "overhead": [],
+        "qk": [ops.gemm("band_qk", b, n, w, d, dt)],
+        "softmax": [ops.softmax_dense(b, n, w, dt)],
+        "av": [ops.gemm("band_av", b, n, d, w, dt)],
+    }
+    if g:
+        staged["qk"].append(ops.gemm("global_qk", b, g, n, d, dt))
+        staged["softmax"].append(ops.softmax_dense(b, g, n, dt))
+        staged["av"].append(ops.gemm("global_av", b, g, d, n, dt))
+    return staged
+
+
+def _bigbird(
+    cfg: AttentionConfig,
+    block_size: int = 64,
+    window_blocks: int = 1,
+    num_global_blocks: int = 1,
+    num_random_blocks: int = 1,
+) -> Dict[str, List[OpCost]]:
+    """BigBird: blocked window/global/random pattern.
+
+    Each row block attends to ``2*window_blocks + 1`` window blocks plus the
+    global and random blocks — a block-diagonal GEMM whose extent is fixed as
+    ``n`` grows.  Global row blocks attend everywhere (a linear stripe, as in
+    Longformer) and the random blocks pay a gather to assemble their keys.
+    """
+    b, n, d, dt = cfg.effective_batch, cfg.seq_len, cfg.head_dim, cfg.dtype
+    block = min(block_size, n)
+    n_blocks = max(1, -(-n // block))
+    kb = min(n_blocks, 2 * window_blocks + 1 + num_global_blocks + num_random_blocks)
+    cols = kb * block
+    g_rows = min(num_global_blocks * block, n)
+    staged = {
+        "overhead": [],
+        "qk": [ops.gemm("block_qk", b * n_blocks, block, cols, d, dt)],
+        "softmax": [ops.softmax_dense(b * n_blocks, block, cols, dt)],
+        "av": [ops.gemm("block_av", b * n_blocks, block, d, cols, dt)],
+    }
+    if num_random_blocks and n_blocks > kb:
+        staged["overhead"].append(
+            ops.gather(
+                "random_block_gather",
+                b,
+                float(n_blocks * num_random_blocks * block * d),
+                dt,
+            )
+        )
+    if g_rows:
+        staged["qk"].append(ops.gemm("global_qk", b, g_rows, n, d, dt))
+        staged["softmax"].append(ops.softmax_dense(b, g_rows, n, dt))
+        staged["av"].append(ops.gemm("global_av", b, g_rows, d, n, dt))
+    return staged
+
+
 def _performer(cfg: AttentionConfig, framework_passes: float = 12.0) -> Dict[str, List[OpCost]]:
     b, n, d, dt = cfg.effective_batch, cfg.seq_len, cfg.head_dim, cfg.dtype
     m = max(1, int(round(d * math.log(d))))  # number of random features
@@ -272,6 +356,9 @@ ATTENTION_MECHANISMS: Dict[str, Callable[[AttentionConfig], Dict[str, List[OpCos
     "nystromformer": _nystrom,
     "topk": _topk,
     "fixed": _fixed,
+    "local": _local,
+    "longformer": _longformer,
+    "bigbird": _bigbird,
 }
 
 

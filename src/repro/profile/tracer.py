@@ -92,6 +92,7 @@ class Tracer:
         self._events: List[Dict[str, Any]] = []
         self._lock = threading.Lock()
         self._tids: Dict[int, int] = {}
+        self._thread_names: Dict[int, str] = {}
         self._phase = threading.local()
         self._labels = threading.local()
         self.metadata: Dict[str, Any] = {}
@@ -105,9 +106,18 @@ class Tracer:
         ident = threading.get_ident()
         tid = self._tids.get(ident)
         if tid is None:
+            name = threading.current_thread().name
             with self._lock:
                 tid = self._tids.setdefault(ident, len(self._tids))
+                # Stable tid → thread-name mapping, recorded at first use so
+                # worker lanes stay identifiable even after the pool is gone.
+                self._thread_names.setdefault(tid, name)
         return tid
+
+    def thread_names(self) -> Dict[int, str]:
+        """Snapshot of the stable ``tid -> thread name`` mapping."""
+        with self._lock:
+            return dict(self._thread_names)
 
     @property
     def phase(self) -> str:
@@ -193,6 +203,39 @@ class Tracer:
             else:
                 self._phase.value = previous
 
+    # ----------------------------------------------- cross-thread propagation
+    def capture_context(self) -> Dict[str, Any]:
+        """Snapshot the calling thread's phase and merged labels.
+
+        Phase and labels are thread-local; a worker pool executing tiles on
+        behalf of a submitting thread captures this on the submitter and
+        re-applies it around each tile (:meth:`apply_context`), so worker-lane
+        events carry the same ``fwd``/``bwd`` phase and plan labels the work
+        would have carried inline.
+        """
+        return {
+            "phase": getattr(self._phase, "value", None),
+            "labels": self._current_labels(),
+        }
+
+    @contextmanager
+    def apply_context(self, context: Dict[str, Any]) -> Iterator[None]:
+        """Re-apply a :meth:`capture_context` snapshot on the current thread."""
+        phase = context.get("phase")
+        labels = context.get("labels") or {}
+        if phase is None:
+            if labels:
+                with self.label_scope(**labels):
+                    yield
+            else:
+                yield
+        elif labels:
+            with self.phase_scope(phase), self.label_scope(**labels):
+                yield
+        else:
+            with self.phase_scope(phase):
+                yield
+
     @contextmanager
     def label_scope(self, **labels: Any) -> Iterator[None]:
         """Merge ``labels`` into the ``args`` of every event inside the block."""
@@ -215,8 +258,23 @@ class Tracer:
         """The Chrome-trace JSON object (``traceEvents`` + ``metadata``)."""
         with self._lock:
             events = list(self._events)
+            names = dict(self._thread_names)
+        # ``ph="M"`` thread_name metadata events give every recorded lane a
+        # human-readable label in chrome://tracing / Perfetto.  Appended after
+        # the recorded events (viewers accept them anywhere), so
+        # ``traceEvents[i]`` keeps indexing the i-th recorded event.
+        name_events = [
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": self.pid,
+                "tid": tid,
+                "args": {"name": name},
+            }
+            for tid, name in sorted(names.items())
+        ]
         return {
-            "traceEvents": events,
+            "traceEvents": events + name_events,
             "displayTimeUnit": "ms",
             "metadata": dict(self.metadata),
         }

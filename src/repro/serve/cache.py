@@ -19,6 +19,7 @@ time the trace is written.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Callable, Dict, Hashable
 
@@ -36,11 +37,18 @@ __all__ = ["StructureCache"]
 #: by the time the trace is written, so the session totals are what the
 #: metadata can still report.
 _SESSION_TOTALS: Dict[str, int] = {"hits": 0, "misses": 0, "evictions": 0}
+_TOTALS_LOCK = threading.Lock()
 
 
 def _reset_session_totals() -> None:
-    _SESSION_TOTALS["hits"] = _SESSION_TOTALS["misses"] = 0
-    _SESSION_TOTALS["evictions"] = 0
+    with _TOTALS_LOCK:
+        _SESSION_TOTALS["hits"] = _SESSION_TOTALS["misses"] = 0
+        _SESSION_TOTALS["evictions"] = 0
+
+
+def _count_session(counter: str) -> None:
+    with _TOTALS_LOCK:
+        _SESSION_TOTALS[counter] += 1
 
 
 class StructureCache:
@@ -57,40 +65,56 @@ class StructureCache:
             raise ValueError(f"max_entries must be positive, got {max_entries!r}")
         self.max_entries = int(max_entries)
         self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def get(self, key: Hashable, build: Callable[[], object]) -> object:
         """Return the cached value for ``key``, building (and counting a miss)
-        once on first use."""
+        once on first use.
+
+        Thread-safe (the multicore backend made concurrent executor calls a
+        reality): counters, recency updates, and eviction all run under one
+        lock.  ``build`` runs outside it, so a cold key may build more than
+        once under a race — structures are immutable-after-build, so last
+        write wins harmlessly.
+        """
         tracer = current_tracer()
-        try:
-            value = self._entries[key]
-        except KeyError:
-            self.misses += 1
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                hit = False
+                self.misses += 1
+            else:
+                hit = True
+                self.hits += 1
+                self._entries.move_to_end(key)
+        if hit:
             if tracer is not None:
-                _SESSION_TOTALS["misses"] += 1
-                tracer.instant("structure_cache_miss", "cache", key=repr(key))
-            value = build()
+                _count_session("hits")
+                tracer.instant("structure_cache_hit", "cache", key=repr(key))
+            return value
+        if tracer is not None:
+            _count_session("misses")
+            tracer.instant("structure_cache_miss", "cache", key=repr(key))
+        value = build()
+        with self._lock:
             self._entries[key] = value
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
                 self.evictions += 1
                 if tracer is not None:
-                    _SESSION_TOTALS["evictions"] += 1
-            return value
-        self.hits += 1
-        if tracer is not None:
-            _SESSION_TOTALS["hits"] += 1
-            tracer.instant("structure_cache_hit", "cache", key=repr(key))
-        self._entries.move_to_end(key)
+                    _count_session("evictions")
         return value
 
     def stats(self) -> Dict[str, int]:
@@ -99,19 +123,21 @@ class StructureCache:
         ``entries`` is kept alongside the cross-cache-conventional ``size``
         for backward compatibility — they are always equal.
         """
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "entries": len(self._entries),
-            "size": len(self._entries),
-        }
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "entries": len(self._entries),
+                "size": len(self._entries),
+            }
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
 
 
 register_session_hook(_reset_session_totals)

@@ -561,3 +561,129 @@ class TestFusedAndSoftmaxGate:
             min_matrix_speedup=0.0,
         )
         assert failures == []
+
+
+class TestMulticoreBench:
+    @pytest.fixture(scope="class")
+    def multicore_results(self):
+        from repro.bench.runner import run_multicore_benchmarks
+
+        return run_multicore_benchmarks(
+            repeats=2, warmup=0, patterns=("2:4",), shape=TINY,
+            workers=2, scaling=(2,),
+        )
+
+    def test_rows_cover_both_arms_and_the_scaling_sweep(self, multicore_results):
+        from repro.bench.runner import (
+            MULTICORE_BENCH_KERNELS,
+            MULTICORE_SCALING_KERNEL,
+        )
+
+        combos = {(r.kernel, r.backend) for r in multicore_results}
+        expected = {
+            (k, b)
+            for k in MULTICORE_BENCH_KERNELS
+            for b in ("fast", "multicore")
+        } | {(MULTICORE_SCALING_KERNEL, "w1"), (MULTICORE_SCALING_KERNEL, "w2")}
+        assert combos == expected
+
+    def test_multicore_rows_bitwise_parity_and_workers_column(
+        self, multicore_results
+    ):
+        for r in multicore_results:
+            if r.backend == "multicore":
+                # exact 0.0, not merely small: the tiles run the same kernels
+                assert r.parity_max_rel_err == 0.0
+                assert r.extra == {"workers": 2.0}
+            elif r.backend == "fast":
+                assert r.speedup == 1.0
+                assert r.parity_max_rel_err is None
+
+    def test_scaling_rows_carry_worker_counts(self, multicore_results):
+        from repro.bench.runner import MULTICORE_SCALING_KERNEL
+
+        rows = {
+            r.backend: r
+            for r in multicore_results
+            if r.kernel == MULTICORE_SCALING_KERNEL
+        }
+        assert rows["w1"].speedup == 1.0
+        assert rows["w1"].extra == {"workers": 1.0}
+        assert rows["w2"].extra == {"workers": 2.0}
+
+    def test_payload_rows_carry_workers_column(self, multicore_results):
+        payload = results_to_payload(multicore_results, scale="smoke", repeats=2)
+        rows = [
+            row for row in payload["results"] if row["backend"] == "multicore"
+        ]
+        assert rows
+        assert all(row["workers"] == 2.0 for row in rows)
+
+
+class TestMulticoreGate:
+    @staticmethod
+    def _row(kernel, backend, speedup, parity=0.0, workers=None):
+        row = {
+            "kernel": kernel, "shape": "B4xH8xL512xD64/1:2",
+            "backend": backend, "median_s": 0.01, "p10_s": 0.01,
+            "p90_s": 0.01, "speedup": speedup, "parity_max_rel_err": parity,
+        }
+        if workers is not None:
+            row["workers"] = workers
+        return row
+
+    def _check(self, rows, **kwargs):
+        gate = _load_gate()
+        warnings = []
+        failures, _ = gate.check(
+            {"schema_version": 1, "results": rows},
+            {"schema_version": 1, "results": []},
+            min_e2e_speedup=0.0, min_train_speedup=0.0,
+            min_matrix_speedup=0.0, warnings=warnings, **kwargs,
+        )
+        return failures, warnings
+
+    def test_floor_binds_rows_with_a_parallel_pool(self):
+        failures, _ = self._check(
+            [
+                self._row("attention_multicore", "multicore", 1.1, workers=2.0),
+                self._row(
+                    "attention_multicore_train", "multicore", 1.5, workers=2.0
+                ),
+            ],
+            min_multicore_speedup=1.3,
+        )
+        assert any("multicore floor" in f and "1.10x" in f for f in failures)
+        assert not any("attention_multicore_train" in f for f in failures)
+
+    def test_floor_skips_single_worker_rows_with_a_warning(self):
+        failures, warnings = self._check(
+            [
+                self._row("attention_multicore", "multicore", 0.9, workers=1.0),
+                self._row(
+                    "attention_multicore_train", "multicore", 0.9, workers=1.0
+                ),
+            ],
+            min_multicore_speedup=1.3,
+        )
+        assert not any("multicore floor" in f for f in failures)
+        assert any("single-worker" in w for w in warnings)
+
+    def test_bitwise_parity_required_even_on_single_worker_rows(self):
+        failures, _ = self._check(
+            [
+                self._row(
+                    "attention_multicore", "multicore", 2.0,
+                    parity=1e-7, workers=1.0,
+                ),
+            ],
+        )
+        assert any(
+            "parity" in f and "attention_multicore" in f for f in failures
+        )
+
+    def test_floor_requires_rows(self):
+        failures, _ = self._check([], min_multicore_speedup=1.3)
+        assert any(
+            "no attention_multicore multicore rows" in f for f in failures
+        )

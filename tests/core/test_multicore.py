@@ -1,0 +1,282 @@
+"""Tests for the multicore tiled backend.
+
+Bitwise parity with ``fast`` is the contract, not a tolerance: every kernel
+in the fused chain is per-leading-slice independent, so tiling the flattened
+batch×head dimension must never perturb a bit — forward and backward, N:M
+and ragged CSR, thread and process pools, and the grouped serving path.
+The pool itself must start lazily, degenerate to inline execution at one
+worker, survive env reconfiguration, and put each tile on its own worker
+lane in a Chrome trace.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.attention import dfss_attention
+from repro.core.backend import FAST, MULTICORE, use_backend
+from repro.core.multicore import (
+    MODE_ENV_VAR,
+    WORKERS_ENV_VAR,
+    WorkerPool,
+    get_pool,
+    resolve_mode,
+    resolve_worker_count,
+    slice_costs,
+    tile_slices,
+)
+from repro.nn.autograd import Tensor
+from repro.nn.sparse_attention import dfss_sparse_attention
+from repro.profile.tracer import trace
+
+SHAPE = (3, 2, 64, 32)
+
+
+@pytest.fixture
+def two_workers(monkeypatch):
+    """Force a two-worker pool so the tiled paths execute even on one core."""
+    monkeypatch.setenv(WORKERS_ENV_VAR, "2")
+    yield
+    # monkeypatch restores the env; the shared pool re-resolves it (and
+    # rebuilds if needed) on its next run, so no manual cleanup is required
+
+
+def _qkv(shape=SHAPE, seed=0):
+    rng = np.random.default_rng(seed)
+    return (
+        rng.standard_normal(shape).astype(np.float32),
+        rng.standard_normal(shape).astype(np.float32),
+        rng.standard_normal(shape).astype(np.float32),
+    )
+
+
+class TestTileSlices:
+    def test_degenerate_inputs_collapse_to_one_slice(self):
+        assert tile_slices(1, 8) == [slice(0, 1)]
+        assert tile_slices(8, 1) == [slice(0, 8)]
+        assert tile_slices(0, 4) == [slice(0, 0)]
+
+    def test_uniform_slices_partition_the_batch(self):
+        slices = tile_slices(16, 2)
+        assert slices[0].start == 0 and slices[-1].stop == 16
+        for a, b in zip(slices, slices[1:]):
+            assert a.stop == b.start
+        # oversubscribed beyond the worker count, bounded by the batch
+        assert 2 <= len(slices) <= 16
+
+    def test_cost_balancing_isolates_a_heavy_index(self):
+        costs = np.array([100.0, 1, 1, 1, 1, 1, 1, 1])
+        slices = tile_slices(8, 2, costs)
+        assert slices[0] == slice(0, 1)  # the heavy index gets its own tile
+        assert slices[0].start == 0 and slices[-1].stop == 8
+        for a, b in zip(slices, slices[1:]):
+            assert a.stop == b.start
+
+    def test_cost_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            tile_slices(8, 2, np.ones(5))
+
+    def test_zero_costs_fall_back_to_uniform(self):
+        assert tile_slices(8, 2, np.zeros(8)) == tile_slices(8, 2)
+
+    def test_slice_costs(self):
+        costs = np.arange(8, dtype=float)
+        slices = [slice(0, 4), slice(4, 8)]
+        assert slice_costs(slices, costs) == [6.0, 22.0]
+        assert slice_costs(slices, None) is None
+
+
+class TestWorkerPoolLifecycle:
+    def test_lazy_start_and_clean_shutdown(self, two_workers):
+        pool = WorkerPool()
+        assert not pool.started
+        assert pool.run([lambda: 1]) == [1]  # single thunk: inline, no pool
+        assert not pool.started
+        assert pool.run([lambda: 1, lambda: 2]) == [1, 2]
+        assert pool.started
+        pool.shutdown()
+        assert not pool.started
+        pool.shutdown()  # idempotent
+
+    def test_one_worker_degenerates_inline(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "1")
+        pool = WorkerPool()
+        thunks = [(lambda i=i: i) for i in range(4)]
+        assert pool.run(thunks) == [0, 1, 2, 3]
+        assert not pool.started
+
+    def test_results_keep_input_order_despite_cost_ordering(self, two_workers):
+        pool = WorkerPool()
+        thunks = [(lambda i=i: i) for i in range(8)]
+        assert pool.run(thunks, costs=list(range(8))) == list(range(8))
+        pool.shutdown()
+
+    def test_executor_reused_across_runs(self, two_workers):
+        pool = WorkerPool()
+        pool.run([lambda: 1, lambda: 2])
+        executor = pool._executor
+        pool.run([lambda: 3, lambda: 4])
+        assert pool._executor is executor
+        pool.shutdown()
+
+    def test_worker_count_change_rebuilds_pool(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "2")
+        pool = WorkerPool()
+        pool.run([lambda: 1, lambda: 2])
+        executor = pool._executor
+        monkeypatch.setenv(WORKERS_ENV_VAR, "3")
+        assert pool.workers == 3
+        pool.run([lambda: 1, lambda: 2])
+        assert pool._executor is not executor
+        pool.shutdown()
+
+    def test_exceptions_propagate(self, two_workers):
+        pool = WorkerPool()
+
+        def boom():
+            raise RuntimeError("tile failed")
+
+        with pytest.raises(RuntimeError, match="tile failed"):
+            pool.run([lambda: 1, boom])
+        pool.shutdown()
+
+    def test_resolve_worker_count(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV_VAR, raising=False)
+        assert resolve_worker_count() >= 1
+        monkeypatch.setenv(WORKERS_ENV_VAR, "3")
+        assert resolve_worker_count() == 3
+        assert resolve_worker_count(2) == 2  # explicit arg beats the env
+        assert resolve_worker_count(0) == 1  # floored at one
+        monkeypatch.setenv(WORKERS_ENV_VAR, "garbage")
+        with pytest.raises(ValueError):
+            resolve_worker_count()
+
+    def test_resolve_mode(self, monkeypatch):
+        monkeypatch.delenv(MODE_ENV_VAR, raising=False)
+        assert resolve_mode() == "thread"
+        monkeypatch.setenv(MODE_ENV_VAR, "process")
+        assert resolve_mode() == "process"
+        with pytest.raises(ValueError):
+            resolve_mode("fibers")
+
+
+class TestBitwiseParity:
+    @pytest.mark.parametrize("pattern", ["1:2", "2:4"])
+    def test_nm_forward(self, two_workers, pattern):
+        q, k, v = _qkv()
+        fast = dfss_attention(q, k, v, pattern=pattern, backend=FAST)
+        tiled = dfss_attention(q, k, v, pattern=pattern, backend=MULTICORE)
+        assert np.array_equal(fast, tiled)
+
+    @pytest.mark.parametrize("pattern", ["1:2", "2:4"])
+    def test_nm_train_step(self, two_workers, pattern):
+        q, k, v = _qkv()
+        arms = {}
+        for backend in (FAST, MULTICORE):
+            qt = Tensor(q, requires_grad=True)
+            kt = Tensor(k, requires_grad=True)
+            vt = Tensor(v, requires_grad=True)
+            out, _ = dfss_sparse_attention(
+                qt, kt, vt, pattern=pattern, backend=backend
+            )
+            out.sum().backward()
+            arms[backend] = (out.data, qt.grad, kt.grad, vt.grad)
+        for fast_arr, tiled_arr in zip(arms[FAST], arms[MULTICORE]):
+            assert np.array_equal(fast_arr, tiled_arr)
+
+    def test_ragged_csr_forward(self, two_workers):
+        from repro.baselines.longformer import longformer_mask
+        from repro.core.padded_csr import PaddedCSRMatrix
+        from repro.core.plan import plan_for_structure
+
+        q, k, v = _qkv()
+        # band + global mask: ragged row lengths exercise the cost-balanced
+        # tile scheduler (the global row is full-width, band rows narrow)
+        mask = longformer_mask(SHAPE[-2], SHAPE[-2], 8, 1)
+        structure = PaddedCSRMatrix.from_mask(mask).broadcast_to(q.shape[:-2])
+        arms = {}
+        for backend in (FAST, MULTICORE):
+            plan = plan_for_structure(structure, backend)
+            arms[backend] = plan.forward(
+                q, k, v, structure=structure, scale=0.125
+            )
+        assert np.array_equal(arms[FAST], arms[MULTICORE])
+
+    def test_ragged_csr_train_step(self, two_workers):
+        from repro.registry import make_core
+
+        q, k, v = _qkv()
+        arms = {}
+        for backend in (FAST, MULTICORE):
+            core = make_core(
+                "longformer", seq_len_hint=SHAPE[-2], path="sparse",
+                backend=backend,
+            )
+            qt = Tensor(q, requires_grad=True)
+            kt = Tensor(k, requires_grad=True)
+            vt = Tensor(v, requires_grad=True)
+            out = core(qt, kt, vt)
+            out.sum().backward()
+            arms[backend] = (out.data, qt.grad, kt.grad, vt.grad)
+        for fast_arr, tiled_arr in zip(arms[FAST], arms[MULTICORE]):
+            assert np.array_equal(fast_arr, tiled_arr)
+
+    def test_grouped_serving_parity(self, two_workers):
+        from repro.baselines.longformer import longformer_mask
+        from repro.core.padded_csr import PaddedCSRMatrix
+        from repro.serve.executor import grouped_attention
+
+        rng = np.random.default_rng(7)
+        g, rows, d = 6, 32, 16
+        structure = PaddedCSRMatrix.from_mask(longformer_mask(rows, rows, 4, 1))
+        q3 = rng.standard_normal((g, rows, d)).astype(np.float32)
+        k3 = rng.standard_normal((g, rows, d)).astype(np.float32)
+        v3 = rng.standard_normal((g, rows, d)).astype(np.float32)
+        with use_backend(FAST):
+            stacked = grouped_attention(q3, k3, v3, structure)
+        with use_backend(MULTICORE):
+            tiled = grouped_attention(q3, k3, v3, structure)
+        assert np.array_equal(stacked, tiled)
+
+    def test_workers_one_is_exactly_the_fast_plan(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "1")
+        q, k, v = _qkv()
+        fast = dfss_attention(q, k, v, pattern="1:2", backend=FAST)
+        inline = dfss_attention(q, k, v, pattern="1:2", backend=MULTICORE)
+        assert np.array_equal(fast, inline)
+
+
+class TestProcessMode:
+    def test_forward_parity(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "2")
+        q, k, v = _qkv()
+        fast = dfss_attention(q, k, v, pattern="1:2", backend=FAST)
+        monkeypatch.setenv(MODE_ENV_VAR, "process")
+        try:
+            tiled = dfss_attention(q, k, v, pattern="1:2", backend=MULTICORE)
+        finally:
+            get_pool().shutdown()  # join the child processes promptly
+        assert np.array_equal(fast, tiled)
+
+
+class TestTraceIntegration:
+    def test_tiles_land_on_multiple_named_worker_lanes(self, two_workers):
+        q, k, v = _qkv((4, 2, 64, 32))
+        with trace() as active:
+            dfss_attention(q, k, v, pattern="1:2", backend=MULTICORE)
+        payload = active.payload()
+        tiles = [
+            e for e in payload["traceEvents"] if e.get("name") == "mc_tile"
+        ]
+        assert tiles, "no mc_tile spans recorded"
+        assert len({e["tid"] for e in tiles}) >= 2
+        for event in tiles:
+            assert {"stage", "tile", "rows", "shape", "workers"} <= set(
+                event["args"]
+            )
+            assert event["args"]["workers"] == 2
+        lane_names = {
+            e["args"]["name"]
+            for e in payload["traceEvents"]
+            if e.get("ph") == "M" and e.get("name") == "thread_name"
+        }
+        assert any(name.startswith("repro-mc") for name in lane_names)

@@ -109,7 +109,8 @@ class TestAttentionLatency:
 
     def test_registry_covers_figure5_mechanisms(self):
         for mech in ("transformer", "dfss", "performer", "reformer", "routing",
-                     "sinkhorn", "nystromformer", "topk", "fixed"):
+                     "sinkhorn", "nystromformer", "topk", "fixed",
+                     "local", "longformer", "bigbird"):
             assert mech in ATTENTION_MECHANISMS
 
     def test_topk_slower_than_dfss_at_same_config(self):
@@ -224,3 +225,70 @@ class TestMemory:
     def test_unknown_mechanism(self):
         with pytest.raises(ValueError):
             attention_peak_memory("flash", LayerConfig(seq_len=512))
+
+
+class TestBandMechanismModels:
+    """Figure-5 grid coverage for the fixed-window mechanisms.
+
+    ``local`` / ``longformer`` / ``bigbird`` previously had no analytical
+    latency model (``latency_model=None`` left holes in the Figure-5 grid);
+    these tests pin the modeled-vs-shape invariants their masks imply: banded
+    cost is flat in sequence length at a fixed token budget, global tokens
+    add a stripe on top of the band, and BigBird's cost responds to its
+    block parameters.
+    """
+
+    MECHANISMS = ("local", "longformer", "bigbird")
+
+    def test_registry_specs_resolve_to_models(self):
+        from repro.gpusim.attention_latency import resolve_latency_model
+
+        for name in self.MECHANISMS:
+            assert resolve_latency_model(name) == name
+
+    def test_stage_latencies_nonnegative_with_positive_total(self):
+        cfg = AttentionConfig(seq_len=1024)
+        for name in self.MECHANISMS:
+            lat = attention_latency(name, cfg)
+            assert lat.total > 0.0
+            assert min(lat.overhead, lat.qk, lat.softmax, lat.av) >= 0.0
+            assert lat.total == pytest.approx(
+                lat.overhead + lat.qk + lat.softmax + lat.av
+            )
+
+    def test_local_flat_in_sequence_length(self):
+        # at a fixed token budget the effective batch shrinks as 1/n, so a
+        # fixed-width band costs the same total at every sequence length
+        # while dense attention grows with n
+        totals = [
+            attention_latency("local", AttentionConfig(seq_len=n)).total
+            for n in (512, 1024, 4096)
+        ]
+        assert max(totals) <= min(totals) * 1.05
+        dense = [
+            attention_latency("transformer", AttentionConfig(seq_len=n)).total
+            for n in (512, 1024, 4096)
+        ]
+        assert dense[-1] > dense[0] * 2.0
+
+    def test_longformer_global_tokens_cost_extra(self):
+        cfg = AttentionConfig(seq_len=1024)
+        local = attention_latency("local", cfg, window=32).total
+        lf = attention_latency("longformer", cfg, window=32, num_global=1).total
+        assert lf >= local
+        wider = attention_latency(
+            "longformer", cfg, window=32, num_global=8
+        ).total
+        assert wider > lf
+
+    def test_bigbird_cost_grows_with_random_blocks(self):
+        cfg = AttentionConfig(seq_len=2048)
+        base = attention_latency("bigbird", cfg, num_random_blocks=1).total
+        more = attention_latency("bigbird", cfg, num_random_blocks=3).total
+        assert more > base
+
+    def test_band_mechanisms_beat_dense_at_long_sequences(self):
+        cfg = AttentionConfig(seq_len=4096)
+        dense = attention_latency("transformer", cfg).total
+        for name in self.MECHANISMS:
+            assert attention_latency(name, cfg).total < dense
